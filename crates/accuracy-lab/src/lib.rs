@@ -1,0 +1,38 @@
+//! # accuracy-lab — accuracy experiments under flash errors
+//!
+//! Reproduces the accuracy side of the paper (Figures 3(b) and 10)
+//! without access to OPT-6.7B or GPU inference:
+//!
+//! * [`mlp`] / [`storage`] — a *real* INT8-quantized classifier trained
+//!   in-repo whose weights round-trip through simulated flash pages with
+//!   bit-flip injection and the bit-exact outlier ECC — the full
+//!   store → corrupt → correct → infer lifecycle;
+//! * [`surrogate`] — measured weight-corruption severity on LLM-like
+//!   weight distributions mapped to HellaSwag/ARC/WinoGrande accuracy
+//!   through a calibrated curve (substitution documented in DESIGN.md).
+//!
+//! ## Example
+//!
+//! ```
+//! use accuracy_lab::{data::gaussian_blobs, mlp::{Mlp, MlpConfig, QuantMlp}};
+//!
+//! let cfg = MlpConfig::default();
+//! let train = gaussian_blobs(1500, cfg.input, cfg.classes, 0.6, 1);
+//! let test = gaussian_blobs(500, cfg.input, cfg.classes, 0.6, 2);
+//! let net = Mlp::train(cfg, &train);
+//! let q = QuantMlp::quantize(&net);
+//! assert!(q.accuracy(&test) > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod mlp;
+pub mod storage;
+pub mod surrogate;
+
+pub use data::{gaussian_blobs, Dataset};
+pub use mlp::{Mlp, MlpConfig, QuantMlp};
+pub use storage::{mean_stored_accuracy, stored_accuracy, TrialResult};
+pub use surrogate::{accuracy_at, accuracy_from_severity, severity_at, tasks, TaskSpec};

@@ -1,0 +1,369 @@
+//! A small MLP classifier, trained in-repo, then quantized to INT8.
+//!
+//! This is the proxy model whose weights live in simulated flash pages
+//! for the end-to-end ECC experiments: train (f32 SGD) → quantize
+//! (per-tensor symmetric INT8, as SmoothQuant produces) → store →
+//! corrupt → correct → evaluate.
+
+use crate::data::Dataset;
+use sim_core::SplitMix64;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            input: 16,
+            hidden: 64,
+            classes: 4,
+            epochs: 12,
+            lr: 0.05,
+            seed: 0xACC,
+        }
+    }
+}
+
+/// A trained two-layer MLP (ReLU hidden, softmax output).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Configuration used.
+    pub cfg: MlpConfig,
+    /// Hidden weights, `hidden × input`, row-major.
+    pub w1: Vec<f32>,
+    /// Hidden biases.
+    pub b1: Vec<f32>,
+    /// Output weights, `classes × hidden`, row-major.
+    pub w2: Vec<f32>,
+    /// Output biases.
+    pub b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Trains an MLP on `train` data with plain SGD + cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset shape disagrees with the config.
+    pub fn train(cfg: MlpConfig, train: &Dataset) -> Mlp {
+        assert_eq!(train.dim(), cfg.input, "dataset dim mismatch");
+        assert_eq!(train.classes, cfg.classes, "class count mismatch");
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
+            let scale = (2.0 / fan_in as f64).sqrt();
+            (0..n).map(|_| (rng.normal() * scale) as f32).collect()
+        };
+        let mut net = Mlp {
+            cfg,
+            w1: init(cfg.hidden * cfg.input, cfg.input),
+            b1: vec![0.0; cfg.hidden],
+            w2: init(cfg.classes * cfg.hidden, cfg.hidden),
+            b2: vec![0.0; cfg.classes],
+        };
+        let n = train.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _epoch in 0..cfg.epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            for &i in &order {
+                net.sgd_step(&train.xs[i], train.ys[i]);
+            }
+        }
+        net
+    }
+
+    fn sgd_step(&mut self, x: &[f32], y: usize) {
+        let (h, p) = self.forward_f32(x);
+        let lr = self.cfg.lr;
+        // Output layer gradients: dL/dz2 = p - onehot(y).
+        let mut dz2 = p;
+        dz2[y] -= 1.0;
+        // Hidden grads.
+        let mut dh = vec![0.0f32; self.cfg.hidden];
+        for c in 0..self.cfg.classes {
+            for j in 0..self.cfg.hidden {
+                dh[j] += dz2[c] * self.w2[c * self.cfg.hidden + j];
+            }
+        }
+        for c in 0..self.cfg.classes {
+            for j in 0..self.cfg.hidden {
+                self.w2[c * self.cfg.hidden + j] -= lr * dz2[c] * h[j];
+            }
+            self.b2[c] -= lr * dz2[c];
+        }
+        for j in 0..self.cfg.hidden {
+            if h[j] <= 0.0 {
+                continue; // ReLU gate
+            }
+            for d in 0..self.cfg.input {
+                self.w1[j * self.cfg.input + d] -= lr * dh[j] * x[d];
+            }
+            self.b1[j] -= lr * dh[j];
+        }
+    }
+
+    /// Forward pass returning hidden activations and class probabilities.
+    fn forward_f32(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let h: Vec<f32> = (0..self.cfg.hidden)
+            .map(|j| {
+                let mut z = self.b1[j];
+                for d in 0..self.cfg.input {
+                    z += self.w1[j * self.cfg.input + d] * x[d];
+                }
+                z.max(0.0)
+            })
+            .collect();
+        let mut logits: Vec<f32> = (0..self.cfg.classes)
+            .map(|c| {
+                let mut z = self.b2[c];
+                for j in 0..self.cfg.hidden {
+                    z += self.w2[c * self.cfg.hidden + j] * h[j];
+                }
+                z
+            })
+            .collect();
+        let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for l in logits.iter_mut() {
+            *l = (*l - m).exp();
+            sum += *l;
+        }
+        for l in logits.iter_mut() {
+            *l /= sum;
+        }
+        (h, logits)
+    }
+
+    /// Predicted class for `x`.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let (_, p) = self.forward_f32(x);
+        argmax(&p)
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .xs
+            .iter()
+            .zip(&data.ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// An INT8-quantized MLP (per-tensor symmetric scales; biases stay f32,
+/// as they are tiny and stored in on-chip SRAM in real deployments).
+#[derive(Debug, Clone)]
+pub struct QuantMlp {
+    /// Configuration (shapes).
+    pub cfg: MlpConfig,
+    /// Quantized hidden weights.
+    pub q1: Vec<i8>,
+    /// Scale: `w1 ≈ q1 × s1`.
+    pub s1: f32,
+    /// Quantized output weights.
+    pub q2: Vec<i8>,
+    /// Scale for `q2`.
+    pub s2: f32,
+    /// Hidden biases (f32).
+    pub b1: Vec<f32>,
+    /// Output biases (f32).
+    pub b2: Vec<f32>,
+}
+
+impl QuantMlp {
+    /// Quantizes a trained MLP.
+    pub fn quantize(net: &Mlp) -> QuantMlp {
+        let (q1, s1) = quantize_tensor(&net.w1);
+        let (q2, s2) = quantize_tensor(&net.w2);
+        QuantMlp {
+            cfg: net.cfg,
+            q1,
+            s1,
+            q2,
+            s2,
+            b1: net.b1.clone(),
+            b2: net.b2.clone(),
+        }
+    }
+
+    /// All weights as one flat INT8 slice (`w1` then `w2`) — the layout
+    /// stored into flash pages.
+    pub fn weights_flat(&self) -> Vec<i8> {
+        let mut v = self.q1.clone();
+        v.extend_from_slice(&self.q2);
+        v
+    }
+
+    /// Rebuilds the model with weights replaced by `flat` (e.g. after a
+    /// flash round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` has the wrong length.
+    pub fn with_weights(&self, flat: &[i8]) -> QuantMlp {
+        assert_eq!(flat.len(), self.q1.len() + self.q2.len(), "wrong length");
+        let mut out = self.clone();
+        out.q1 = flat[..self.q1.len()].to_vec();
+        out.q2 = flat[self.q1.len()..].to_vec();
+        out
+    }
+
+    /// Predicted class using dequantized weights.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let cfg = &self.cfg;
+        let h: Vec<f32> = (0..cfg.hidden)
+            .map(|j| {
+                let mut z = self.b1[j];
+                for d in 0..cfg.input {
+                    z += self.q1[j * cfg.input + d] as f32 * self.s1 * x[d];
+                }
+                z.max(0.0)
+            })
+            .collect();
+        let logits: Vec<f32> = (0..cfg.classes)
+            .map(|c| {
+                let mut z = self.b2[c];
+                for j in 0..cfg.hidden {
+                    z += self.q2[c * cfg.hidden + j] as f32 * self.s2 * h[j];
+                }
+                z
+            })
+            .collect();
+        argmax(&logits)
+    }
+
+    /// Accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .xs
+            .iter()
+            .zip(&data.ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+fn quantize_tensor(w: &[f32]) -> (Vec<i8>, f32) {
+    let max = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+    let q = w
+        .iter()
+        .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_blobs;
+
+    fn trained() -> (Mlp, Dataset, Dataset) {
+        let cfg = MlpConfig::default();
+        let train = gaussian_blobs(2000, cfg.input, cfg.classes, 0.6, 11);
+        let test = gaussian_blobs(800, cfg.input, cfg.classes, 0.6, 22);
+        (Mlp::train(cfg, &train), train, test)
+    }
+
+    #[test]
+    fn training_beats_chance_comfortably() {
+        let (net, _, test) = trained();
+        let acc = net.accuracy(&test);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn quantization_costs_little_accuracy() {
+        let (net, _, test) = trained();
+        let q = QuantMlp::quantize(&net);
+        let fa = net.accuracy(&test);
+        let qa = q.accuracy(&test);
+        assert!(fa - qa < 0.05, "f32 {fa} vs int8 {qa}");
+    }
+
+    #[test]
+    fn quantized_weights_have_outliers() {
+        // The premise of the paper's ECC: a small fraction of weights is
+        // much larger than the bulk. Verify the trained net shows this.
+        let (net, _, _) = trained();
+        let q = QuantMlp::quantize(&net);
+        let flat = q.weights_flat();
+        let mut mags: Vec<u8> = flat.iter().map(|v| v.unsigned_abs()).collect();
+        mags.sort_unstable_by(|a, b| b.cmp(a));
+        let p99 = mags[flat.len() / 100];
+        let median = mags[flat.len() / 2];
+        assert!(
+            p99 as f32 >= 3.0 * median.max(1) as f32,
+            "p99 {p99} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn weight_roundtrip_preserves_model() {
+        let (net, _, test) = trained();
+        let q = QuantMlp::quantize(&net);
+        let rebuilt = q.with_weights(&q.weights_flat());
+        assert_eq!(q.accuracy(&test), rebuilt.accuracy(&test));
+    }
+
+    #[test]
+    fn corrupting_weights_hurts() {
+        let (net, _, test) = trained();
+        let q = QuantMlp::quantize(&net);
+        let mut flat = q.weights_flat();
+        // Saturate 10% of weights.
+        for i in (0..flat.len()).step_by(10) {
+            flat[i] = i8::MAX;
+        }
+        let bad = q.with_weights(&flat);
+        assert!(bad.accuracy(&test) < q.accuracy(&test) - 0.1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let cfg = MlpConfig::default();
+        let train = gaussian_blobs(500, cfg.input, cfg.classes, 0.6, 5);
+        let a = Mlp::train(cfg, &train);
+        let b = Mlp::train(cfg, &train);
+        assert_eq!(a.w1, b.w1);
+        assert_eq!(a.w2, b.w2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn with_weights_rejects_bad_length() {
+        let (net, _, _) = trained();
+        let q = QuantMlp::quantize(&net);
+        q.with_weights(&[0i8; 3]);
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end flash round-trip for the proxy model.
+//!
+//! The quantized MLP's weights are packed into simulated flash pages,
+//! bit-flip errors are injected at a chosen BER (into data *and* spare
+//! areas), the on-die Error Correction Unit decodes each page, and the
+//! surviving weights are loaded back into the model for evaluation —
+//! exactly the lifecycle a Cambricon-LLM deployment subjects weights to.
+
+use crate::data::Dataset;
+use crate::mlp::QuantMlp;
+use outlier_ecc::{BitFlipModel, EncodedPage, PageCodec};
+
+/// Result of one stored-inference trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Accuracy after the flash round-trip.
+    pub accuracy: f64,
+    /// Weights that differ from the originals after decode.
+    pub weights_changed: usize,
+    /// Total weights.
+    pub weights_total: usize,
+}
+
+/// Stores the model's weights through simulated flash at `ber`,
+/// with or without the ECC, and evaluates on `test`.
+pub fn stored_accuracy(
+    model: &QuantMlp,
+    test: &Dataset,
+    codec: &PageCodec,
+    ber: f64,
+    seed: u64,
+    with_ecc: bool,
+) -> TrialResult {
+    let flat = model.weights_flat();
+    let total = flat.len();
+    let mut restored: Vec<i8> = Vec::with_capacity(total);
+    let mut injector = BitFlipModel::new(ber, seed);
+
+    for (pi, chunk) in flat.chunks(codec.elems).enumerate() {
+        // Pad the final partial page with zeros (real layouts pad too).
+        let mut page_weights = chunk.to_vec();
+        page_weights.resize(codec.elems, 0);
+        let decoded = if with_ecc {
+            let mut page = codec.encode(&page_weights);
+            injector.corrupt_page(&mut page);
+            codec.decode(&page)
+        } else {
+            let mut page = EncodedPage {
+                data: page_weights.clone(),
+                spare: Vec::new(),
+            };
+            injector.corrupt_page(&mut page);
+            page.data
+        };
+        let _ = pi;
+        restored.extend_from_slice(&decoded[..chunk.len()]);
+    }
+
+    let changed = restored
+        .iter()
+        .zip(&flat)
+        .filter(|(a, b)| a != b)
+        .count();
+    let rebuilt = model.with_weights(&restored);
+    TrialResult {
+        accuracy: rebuilt.accuracy(test),
+        weights_changed: changed,
+        weights_total: total,
+    }
+}
+
+/// Averages `trials` independent injections.
+pub fn mean_stored_accuracy(
+    model: &QuantMlp,
+    test: &Dataset,
+    codec: &PageCodec,
+    ber: f64,
+    trials: usize,
+    base_seed: u64,
+    with_ecc: bool,
+) -> f64 {
+    assert!(trials > 0);
+    (0..trials)
+        .map(|t| {
+            stored_accuracy(
+                model,
+                test,
+                codec,
+                ber,
+                base_seed.wrapping_add(t as u64 * 0x9E37_79B9),
+                with_ecc,
+            )
+            .accuracy
+        })
+        .sum::<f64>()
+        / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_blobs;
+    use crate::mlp::{Mlp, MlpConfig};
+
+    fn setup() -> (QuantMlp, Dataset, PageCodec) {
+        let cfg = MlpConfig::default();
+        let train = gaussian_blobs(2000, cfg.input, cfg.classes, 0.6, 11);
+        let test = gaussian_blobs(600, cfg.input, cfg.classes, 0.6, 22);
+        let net = Mlp::train(cfg, &train);
+        let q = QuantMlp::quantize(&net);
+        // Small pages so the ~1.3K weights span one page exactly.
+        let codec = PageCodec {
+            elems: 4096,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: 512,
+        };
+        (q, test, codec)
+    }
+
+    #[test]
+    fn zero_ber_is_lossless() {
+        let (q, test, codec) = setup();
+        let r = stored_accuracy(&q, &test, &codec, 0.0, 1, true);
+        assert_eq!(r.weights_changed, 0);
+        assert_eq!(r.accuracy, q.accuracy(&test));
+    }
+
+    #[test]
+    fn ecc_beats_no_ecc_at_high_ber() {
+        // The proxy model has ~1.3K weights, so meaningful corruption
+        // needs a high BER (2e-2 ≈ 200 expected flips). The ECC clamps
+        // the catastrophic high-bit flips, so it must retain visibly
+        // more accuracy than the raw arm on average.
+        let (q, test, codec) = setup();
+        let with = mean_stored_accuracy(&q, &test, &codec, 2e-2, 8, 42, true);
+        let without = mean_stored_accuracy(&q, &test, &codec, 2e-2, 8, 42, false);
+        assert!(
+            with >= without - 0.01,
+            "ECC {with} should not lose to raw {without}"
+        );
+        // And the clean model must beat the raw-corrupted one clearly.
+        assert!(q.accuracy(&test) > without);
+    }
+
+    #[test]
+    fn accuracy_degrades_monotonically_in_expectation() {
+        let (q, test, codec) = setup();
+        let clean = q.accuracy(&test);
+        let heavy = mean_stored_accuracy(&q, &test, &codec, 3e-2, 4, 7, false);
+        assert!(heavy < clean, "heavy {heavy} vs clean {clean}");
+    }
+
+    #[test]
+    fn weight_change_counts_scale_with_ber() {
+        let (q, test, codec) = setup();
+        let lo = stored_accuracy(&q, &test, &codec, 1e-4, 3, false);
+        let hi = stored_accuracy(&q, &test, &codec, 1e-2, 3, false);
+        assert!(hi.weights_changed > lo.weights_changed);
+        assert_eq!(lo.weights_total, q.weights_flat().len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Calibrated surrogate for LLM task accuracy under weight corruption
+//! (Figures 3(b) and 10).
+//!
+//! We cannot evaluate OPT-6.7B on HellaSwag/ARC/WinoGrande in this
+//! environment, so the figure pipeline is split in two faithful halves:
+//!
+//! 1. **Measured corruption** — synthetic pages with an LLM-like weight
+//!    distribution (narrow Gaussian bulk + ~0.5 % large-magnitude
+//!    outliers, the §VI premise) go through the *real* bit-flip injector
+//!    and the *real* ECC codec; we measure the surviving RMS weight
+//!    error ([`severity_at`]).
+//! 2. **Surrogate mapping** — a two-parameter Hill curve maps severity
+//!    to task accuracy, calibrated against the paper's anchor points
+//!    (degradation onset at BER ≈ 1e-5; ~40 % of original accuracy at
+//!    2e-4 without ECC; 92–95 % retained at 2e-4 with ECC).
+//!
+//! The ECC's benefit is therefore *measured*, not assumed — only the
+//! final severity→accuracy translation is calibrated.
+
+use outlier_ecc::{measure, BitFlipModel, EncodedPage, PageCodec};
+use sim_core::SplitMix64;
+
+/// Hill-curve midpoint damage (calibrated; see module docs).
+pub const DAMAGE_MID: f64 = 0.0107;
+/// Hill exponent (calibrated).
+pub const HILL_EXP: f64 = 3.2;
+/// Weight of the mid-value flip-rate term in the damage metric.
+///
+/// §VIII-D explains that beyond ~8e-4 even the ECC-protected model
+/// collapses because of "extensive flipping of these intermediate and
+/// small values" that the outlier mechanism deliberately leaves
+/// unprotected. RMS severity alone underweights that failure mode (many
+/// small errors), so the damage metric adds the per-byte flip rate with
+/// this calibrated weight.
+pub const MID_FLIP_WEIGHT: f64 = 2.1;
+
+/// One evaluation task with its clean baseline for OPT-6.7B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Clean OPT-6.7B accuracy (percent).
+    pub base_acc: f64,
+    /// Chance-level accuracy (percent).
+    pub chance: f64,
+}
+
+/// The three datasets of Figures 3(b)/10 with approximate published
+/// OPT-6.7B baselines.
+pub fn tasks() -> [TaskSpec; 3] {
+    [
+        TaskSpec {
+            name: "HellaSwag",
+            base_acc: 57.0,
+            chance: 25.0,
+        },
+        TaskSpec {
+            name: "ARC",
+            base_acc: 43.0,
+            chance: 25.0,
+        },
+        TaskSpec {
+            name: "WinoGrande",
+            base_acc: 65.0,
+            chance: 50.0,
+        },
+    ]
+}
+
+/// Generates one page of LLM-like INT8 weights: Gaussian bulk (σ ≈ 8)
+/// plus ~0.5 % outliers of magnitude 80–127.
+pub fn llm_like_page(elems: usize, seed: u64) -> Vec<i8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..elems)
+        .map(|_| {
+            if rng.chance(0.005) {
+                let mag = 80.0 + rng.next_f64() * 47.0;
+                (if rng.chance(0.5) { mag } else { -mag }) as i8
+            } else {
+                (rng.normal() * 8.0).clamp(-70.0, 70.0) as i8
+            }
+        })
+        .collect()
+}
+
+/// Measures the post-correction severity (normalized RMS weight error)
+/// at a bit error rate, with or without the ECC.
+///
+/// Pages are encoded once and corrupted across enough trials that at
+/// least ~100 bit flips are observed, so low BERs are not noise-limited.
+pub fn severity_at(codec: &PageCodec, ber: f64, with_ecc: bool, seed: u64) -> f64 {
+    if ber <= 0.0 {
+        return 0.0;
+    }
+    let pages = 2usize;
+    let bits_per_page = (codec.elems * 8 + codec.spare_bytes * 8) as f64;
+    let flips_per_trial = bits_per_page * ber * pages as f64;
+    let trials = ((120.0 / flips_per_trial).ceil() as usize).clamp(1, 200);
+
+    let mut originals = Vec::new();
+    let mut encoded = Vec::new();
+    for p in 0..pages {
+        let w = llm_like_page(codec.elems, seed ^ (p as u64 * 0x5851_F42D));
+        if with_ecc {
+            encoded.push(codec.encode(&w));
+        } else {
+            encoded.push(EncodedPage {
+                data: w.clone(),
+                spare: Vec::new(),
+            });
+        }
+        originals.push(w);
+    }
+
+    let mut sum_sq = 0.0;
+    let mut n = 0u64;
+    for t in 0..trials {
+        for p in 0..pages {
+            let mut page = encoded[p].clone();
+            let mut injector =
+                BitFlipModel::new(ber, seed ^ ((t * pages + p) as u64).wrapping_mul(0x2545_F491));
+            injector.corrupt_page(&mut page);
+            let decoded = if with_ecc {
+                codec.decode(&page)
+            } else {
+                page.data
+            };
+            let r = measure(&originals[p], &decoded, codec);
+            sum_sq += r.rms_err * r.rms_err * r.elems as f64;
+            n += r.elems as u64;
+        }
+    }
+    (sum_sq / n as f64).sqrt() / 127.0
+}
+
+/// Probability that an INT8 weight byte has at least one flipped bit.
+pub fn byte_flip_rate(ber: f64) -> f64 {
+    1.0 - (1.0 - ber).powi(8)
+}
+
+/// The scalar damage metric: measured RMS severity plus the calibrated
+/// mid-value flip-rate term (see [`MID_FLIP_WEIGHT`]).
+pub fn damage_at(codec: &PageCodec, ber: f64, with_ecc: bool, seed: u64) -> f64 {
+    severity_at(codec, ber, with_ecc, seed) + MID_FLIP_WEIGHT * byte_flip_rate(ber)
+}
+
+/// Maps a damage value to task accuracy via the calibrated Hill curve.
+pub fn accuracy_from_severity(task: &TaskSpec, damage: f64) -> f64 {
+    let frac = 1.0 / (1.0 + (damage / DAMAGE_MID).powf(HILL_EXP));
+    task.chance + (task.base_acc - task.chance) * frac
+}
+
+/// Full pipeline: accuracy of `task` at `ber`, with or without ECC.
+pub fn accuracy_at(codec: &PageCodec, task: &TaskSpec, ber: f64, with_ecc: bool, seed: u64) -> f64 {
+    accuracy_from_severity(task, damage_at(codec, ber, with_ecc, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_zero_at_zero_ber() {
+        let c = PageCodec::paper();
+        assert_eq!(severity_at(&c, 0.0, true, 1), 0.0);
+        for t in tasks() {
+            assert!((accuracy_from_severity(&t, 0.0) - t.base_acc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn severity_scales_roughly_sqrt_in_ber_without_ecc() {
+        let c = PageCodec::paper();
+        let s1 = severity_at(&c, 1e-4, false, 3);
+        let s2 = severity_at(&c, 4e-4, false, 3);
+        let ratio = s2 / s1;
+        assert!((1.5..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ecc_reduces_severity_multiple_times_at_2e4() {
+        // This is the measured mechanism behind the Figure 10 gap.
+        let c = PageCodec::paper();
+        let without = severity_at(&c, 2e-4, false, 5);
+        let with = severity_at(&c, 2e-4, true, 5);
+        let gain = without / with;
+        assert!(gain > 2.0, "gain {gain}");
+    }
+
+    #[test]
+    fn paper_anchor_points_hold() {
+        let c = PageCodec::paper();
+        let hs = tasks()[0];
+        // Without ECC at 2e-4 the paper reports ~40% of the original
+        // level; our surrogate floors at chance (25/57 ≈ 0.44 for
+        // HellaSwag), so accept the 0.40–0.62 band.
+        let a = accuracy_at(&c, &hs, 2e-4, false, 7);
+        let frac = a / hs.base_acc;
+        assert!((0.40..0.62).contains(&frac), "no-ECC frac {frac}");
+        // With ECC at 2e-4: ≥ ~88% of original retained.
+        let b = accuracy_at(&c, &hs, 2e-4, true, 7);
+        let frac_ecc = b / hs.base_acc;
+        assert!(frac_ecc > 0.85, "ECC frac {frac_ecc}");
+        // Onset: at 1e-5 without ECC accuracy is still ≥ 88% of base.
+        let on = accuracy_at(&c, &hs, 1e-5, false, 7);
+        assert!(on / hs.base_acc > 0.88, "onset {}", on / hs.base_acc);
+        // Protection limit (§VIII-D): with ECC the model still collapses
+        // beyond ~8e-4 because mid-range values are unprotected.
+        let limit = accuracy_at(&c, &hs, 1.5e-3, true, 7);
+        assert!(limit / hs.base_acc < 0.75, "limit {}", limit / hs.base_acc);
+    }
+
+    #[test]
+    fn accuracy_monotone_decreasing_in_ber() {
+        let c = PageCodec::paper();
+        let hs = tasks()[0];
+        let accs: Vec<f64> = [1e-5, 1e-4, 1e-3, 1e-2]
+            .iter()
+            .map(|&b| accuracy_at(&c, &hs, b, false, 9))
+            .collect();
+        for w in accs.windows(2) {
+            assert!(w[0] >= w[1] - 1.0, "{accs:?}");
+        }
+        // Floor is chance level.
+        assert!(accs[3] >= hs.chance - 1e-9);
+        assert!(accs[3] < hs.chance + 8.0);
+    }
+
+    #[test]
+    fn ecc_curve_dominates_no_ecc_curve() {
+        let c = PageCodec::paper();
+        for t in tasks() {
+            for ber in [1e-5, 1e-4, 5e-4, 1e-3] {
+                let w = accuracy_at(&c, &t, ber, true, 11);
+                let wo = accuracy_at(&c, &t, ber, false, 11);
+                assert!(w >= wo - 1.0, "{} at {ber}: {w} vs {wo}", t.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # baselines — the comparison systems of §VII
+//!
+//! Analytic simulators of the frameworks Cambricon-LLM is evaluated
+//! against (Table III):
+//!
+//! * [`FlexGen`] — GPU + DRAM/NVMe offloading on a server
+//!   (Figure 9(a), Figure 16);
+//! * [`MlcLlm`] — DRAM-resident 4-bit inference on a Snapdragon 8 Gen 2
+//!   phone, with the out-of-memory behaviour above 7B (Figure 9(b)).
+//!
+//! Both baselines are bandwidth-bound pipelines at batch size 1; their
+//! constants are calibrated to the paper's testbeds so the comparisons
+//! reproduce who-wins-by-how-much rather than absolute silicon numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use baselines::{FlexGen, MlcLlm, BaselineError};
+//! use llm_workload::zoo;
+//!
+//! let ssd_speed = FlexGen::ssd().decode_speed(&zoo::opt_66b(), 1000)?;
+//! assert!(ssd_speed < 0.2); // the 0.1 tok/s of Figure 9(a)
+//! assert!(matches!(
+//!     MlcLlm::default().decode_speed(&zoo::llama2_70b()),
+//!     Err(BaselineError::OutOfMemory { .. })
+//! ));
+//! # Ok::<(), BaselineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod flexgen;
+pub mod mlc;
+
+pub use flexgen::{FlexGen, Offload};
+pub use mlc::MlcLlm;
+
+use std::fmt;
+
+/// Errors a baseline can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The framework cannot run this model family (FlexGen is OPT-only).
+    UnsupportedModel {
+        /// Model requested.
+        model: &'static str,
+        /// Framework that rejected it.
+        framework: &'static str,
+    },
+    /// The model does not fit in the device's memory.
+    OutOfMemory {
+        /// Model requested.
+        model: &'static str,
+        /// Bytes needed.
+        needed: u64,
+        /// Bytes available.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::UnsupportedModel { model, framework } => {
+                write!(f, "{framework} does not support {model}")
+            }
+            BaselineError::OutOfMemory {
+                model,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "{model} out of memory: needs {needed} bytes, only {capacity} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,95 @@
+//! MLC-LLM smartphone baseline (Table III, Figure 9(b)).
+//!
+//! MLC-LLM runs the whole model from phone DRAM with 4-bit RTN
+//! quantization on a Snapdragon 8 Gen 2. Decode speed is LPDDR-bandwidth
+//! bound; models whose 4-bit weights exceed the usable DRAM budget fail
+//! with out-of-memory — exactly what the paper reports for Llama2-13B
+//! and 70B.
+
+use crate::BaselineError;
+use llm_workload::{ModelSpec, Quant};
+
+/// The MLC-LLM phone model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlcLlm {
+    /// Effective LPDDR bandwidth available to the generator (bytes/s).
+    pub dram_bytes_per_sec: f64,
+    /// DRAM available for model weights after OS/app overhead (bytes).
+    pub usable_dram_bytes: u64,
+    /// Weight quantization (4-bit RTN per Table III).
+    pub quant: Quant,
+}
+
+impl Default for MlcLlm {
+    fn default() -> Self {
+        Self::snapdragon_8_gen_2()
+    }
+}
+
+impl MlcLlm {
+    /// The Table III device: Snapdragon 8 Gen 2, ~25 GB/s effective
+    /// LPDDR5X under sustained generation, ~6 GB of DRAM usable for
+    /// weights on a 12 GB phone.
+    pub fn snapdragon_8_gen_2() -> Self {
+        MlcLlm {
+            dram_bytes_per_sec: 25.5e9,
+            usable_dram_bytes: 6_000_000_000,
+            quant: Quant::W4A16,
+        }
+    }
+
+    /// Decode speed in tokens/second.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::OutOfMemory`] when the 4-bit weights do not fit
+    /// in usable DRAM (Llama2-13B/70B in the paper).
+    pub fn decode_speed(&self, model: &ModelSpec) -> Result<f64, BaselineError> {
+        let weights = model.weight_bytes(self.quant.weight_bits());
+        if weights > self.usable_dram_bytes {
+            return Err(BaselineError::OutOfMemory {
+                model: model.name,
+                needed: weights,
+                capacity: self.usable_dram_bytes,
+            });
+        }
+        Ok(self.dram_bytes_per_sec / weights as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::zoo;
+
+    #[test]
+    fn llama7b_speed_matches_figure_9b() {
+        // Paper: 7.58 tok/s on Llama2-7B (4-bit).
+        let s = MlcLlm::default().decode_speed(&zoo::llama2_7b()).unwrap();
+        assert!((s - 7.58).abs() / 7.58 < 0.15, "{s}");
+    }
+
+    #[test]
+    fn llama13b_and_70b_oom() {
+        // Paper: "On Llama2-13B and 70B, it encounters out-of-memory".
+        for m in [zoo::llama2_13b(), zoo::llama2_70b()] {
+            let err = MlcLlm::default().decode_speed(&m).unwrap_err();
+            match err {
+                BaselineError::OutOfMemory { needed, capacity, .. } => {
+                    assert!(needed > capacity);
+                }
+                other => panic!("expected OOM, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oom_error_is_displayable() {
+        let err = MlcLlm::default()
+            .decode_speed(&zoo::llama2_70b())
+            .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("Llama2-70B"), "{s}");
+        assert!(s.to_lowercase().contains("memory"), "{s}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Ablation benches — Figures 12 (slice), 13 (tile size), 14 (tiling)
+//! and 15 (scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cambricon_llm::{System, SystemConfig};
+use llm_workload::zoo;
+use tiling::{Strategy, TileShape};
+
+fn fig12_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_slice");
+    g.sample_size(10);
+    let model = zoo::opt_6_7b();
+    g.bench_function("with_slice", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::cambricon_s());
+            sys.decode_token(&model, 1000).tokens_per_sec
+        })
+    });
+    g.bench_function("without_slice", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::cambricon_s().without_read_slice());
+            sys.decode_token(&model, 1000).tokens_per_sec
+        })
+    });
+    g.finish();
+}
+
+fn fig13_tiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_tiles");
+    g.sample_size(10);
+    let model = zoo::opt_6_7b();
+    let shapes: [(&str, Option<TileShape>); 3] = [
+        ("256x2048_ours", None),
+        ("128x4096", Some(TileShape { h_req: 128, w_req: 4096 })),
+        ("4096x128", Some(TileShape { h_req: 4096, w_req: 128 })),
+    ];
+    for (name, shape) in shapes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, shape| {
+            b.iter(|| {
+                let cfg = match shape {
+                    None => SystemConfig::cambricon_s(),
+                    Some(ts) => SystemConfig::cambricon_s().with_tile(*ts),
+                };
+                let mut sys = System::new(cfg);
+                sys.decode_token(&model, 1000).tokens_per_sec
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig14_tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_tiling");
+    g.sample_size(10);
+    let model = zoo::opt_6_7b();
+    for (name, strategy) in [
+        ("hardware_aware", Strategy::HardwareAware),
+        ("flash_only", Strategy::FlashOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            b.iter(|| {
+                let mut sys = System::new(SystemConfig::cambricon_s().with_strategy(*s));
+                sys.decode_token(&model, 1000).tokens_per_sec
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig15_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_scale");
+    g.sample_size(10);
+    let model = zoo::opt_6_7b();
+    for chips in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("chips_per_channel", chips),
+            &chips,
+            |b, &chips| {
+                b.iter(|| {
+                    let mut sys = System::new(SystemConfig::custom(8, chips));
+                    sys.decode_token(&model, 1000).tokens_per_sec
+                })
+            },
+        );
+    }
+    for channels in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("channels", channels),
+            &channels,
+            |b, &channels| {
+                b.iter(|| {
+                    let mut sys = System::new(SystemConfig::custom(channels, 4));
+                    sys.decode_token(&model, 1000).tokens_per_sec
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig12_slice, fig13_tiles, fig14_tiling, fig15_scalability);
+criterion_main!(benches);

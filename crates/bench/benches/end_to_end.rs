@@ -1,0 +1,104 @@
+//! End-to-end decode benches — the Figure 9/11/16 workloads.
+//!
+//! Each bench measures one simulated decode step (token generation) of a
+//! model on a system configuration; the bench *output value* is wall
+//! time of the simulator, while the simulated tokens/s is what `repro
+//! fig9a`/`fig9b` report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baselines::{FlexGen, MlcLlm};
+use cambricon_llm::{System, SystemConfig};
+use llm_workload::{zoo, Quant};
+
+fn fig9a_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9a_decode");
+    g.sample_size(10);
+    for model in zoo::opt_family() {
+        for cfg in SystemConfig::paper_variants() {
+            g.bench_with_input(
+                BenchmarkId::new(cfg.name, model.name),
+                &(cfg, model.clone()),
+                |b, (cfg, model)| {
+                    b.iter(|| {
+                        let mut sys = System::new(*cfg);
+                        sys.decode_token(model, 1000).tokens_per_sec
+                    })
+                },
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new("FlexGen-SSD", model.name),
+            &model,
+            |b, model| b.iter(|| FlexGen::ssd().decode_speed(model, 1000).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("FlexGen-DRAM", model.name),
+            &model,
+            |b, model| b.iter(|| FlexGen::dram().decode_speed(model, 1000).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn fig9b_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9b_decode");
+    g.sample_size(10);
+    for model in zoo::llama_family() {
+        g.bench_with_input(
+            BenchmarkId::new("Cambricon-LLM-L", model.name),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let mut sys = System::new(SystemConfig::cambricon_l());
+                    sys.decode_token(model, 1000).tokens_per_sec
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("MLC-LLM", model.name),
+            &model,
+            |b, model| b.iter(|| MlcLlm::default().decode_speed(model).ok()),
+        );
+    }
+    g.finish();
+}
+
+fn fig11_quantization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_quant");
+    g.sample_size(10);
+    for quant in [Quant::W8A8, Quant::W4A16] {
+        g.bench_with_input(
+            BenchmarkId::new("Cam-S_OPT-6.7B", format!("{quant}")),
+            &quant,
+            |b, quant| {
+                b.iter(|| {
+                    let mut sys = System::new(SystemConfig::cambricon_s().with_quant(*quant));
+                    sys.decode_token(&zoo::opt_6_7b(), 1000).tokens_per_sec
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig16_energy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_energy");
+    g.sample_size(10);
+    g.bench_function("Cam-S_traffic_and_energy_OPT-6.7B", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::cambricon_s());
+            let rep = sys.decode_token(&zoo::opt_6_7b(), 1000);
+            cambricon_llm::EnergyModel::calibrated().cambricon_token_j(&rep.traffic)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig9a_end_to_end,
+    fig9b_end_to_end,
+    fig11_quantization,
+    fig16_energy
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Substrate microbenches: the flash discrete-event engine, the outlier
+//! ECC codec (Figures 3(b)/10 inner loop), and the tiling planner.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flash_sim::{ChannelEngine, ChannelWorkload, EngineConfig, Topology};
+use outlier_ecc::{BitFlipModel, PageCodec};
+use tiling::{plan_gemv, AlphaInputs, Strategy};
+
+fn flash_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flash_engine");
+    let wl = ChannelWorkload {
+        rc_rounds: 100,
+        rc_input_bytes: 256,
+        rc_result_bytes_per_core: 64,
+        ops_per_page: 32768,
+        read_pages: 170,
+    };
+    let pages = (100 * 4 + 170) as u64;
+    g.throughput(Throughput::Elements(pages));
+    g.bench_function("cam_s_channel_570_pages", |b| {
+        b.iter(|| ChannelEngine::new(EngineConfig::paper(Topology::cambricon_s()), wl).run())
+    });
+    g.finish();
+}
+
+fn ecc_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc_codec");
+    let codec = PageCodec::paper();
+    let weights: Vec<i8> = (0..codec.elems)
+        .map(|i| if i % 97 == 0 { 110 } else { (i % 23) as i8 - 11 })
+        .collect();
+    g.throughput(Throughput::Bytes(codec.elems as u64));
+    g.bench_function("encode_16k_page", |b| b.iter(|| codec.encode(&weights)));
+    let page = codec.encode(&weights);
+    g.bench_function("decode_16k_page", |b| b.iter(|| codec.decode(&page)));
+    g.bench_function("inject_1e-3_and_decode", |b| {
+        b.iter(|| {
+            let mut p = page.clone();
+            BitFlipModel::new(1e-3, 7).corrupt_page(&mut p);
+            codec.decode(&p)
+        })
+    });
+    g.finish();
+}
+
+fn tiling_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiling_planner");
+    let inp = AlphaInputs::paper(Topology::cambricon_l());
+    g.bench_function("plan_28672x8192_on_L", |b| {
+        b.iter(|| plan_gemv(&inp, 28672, 8192, Strategy::HardwareAware, None))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, flash_engine, ecc_codec, tiling_planner);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! System configurations (Table II).
+
+use flash_sim::{EngineConfig, SlicePolicy, Topology};
+use llm_workload::Quant;
+use npu_sim::NpuConfig;
+use tiling::{Strategy, TileShape};
+
+/// A complete Cambricon-LLM system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Display name ("Cambricon-LLM-S", ...).
+    pub name: &'static str,
+    /// Flash engine configuration (topology, timing, core, slicing).
+    pub engine: EngineConfig,
+    /// NPU configuration.
+    pub npu: NpuConfig,
+    /// Quantization scheme.
+    pub quant: Quant,
+    /// GeMV distribution strategy.
+    pub strategy: Strategy,
+    /// Optional tile-shape override (Figure 13 ablation).
+    pub tile_override: Option<TileShape>,
+}
+
+impl SystemConfig {
+    /// Cambricon-LLM-S (Table II: 8 channels × 2 chips).
+    pub fn cambricon_s() -> Self {
+        Self::named("Cambricon-LLM-S", Topology::cambricon_s())
+    }
+
+    /// Cambricon-LLM-M (Table II: 16 channels × 4 chips).
+    pub fn cambricon_m() -> Self {
+        Self::named("Cambricon-LLM-M", Topology::cambricon_m())
+    }
+
+    /// Cambricon-LLM-L (Table II: 32 channels × 8 chips).
+    pub fn cambricon_l() -> Self {
+        Self::named("Cambricon-LLM-L", Topology::cambricon_l())
+    }
+
+    /// All three Table II variants.
+    pub fn paper_variants() -> [SystemConfig; 3] {
+        [
+            Self::cambricon_s(),
+            Self::cambricon_m(),
+            Self::cambricon_l(),
+        ]
+    }
+
+    /// A custom topology with paper-default everything else
+    /// (Figure 15 sweeps).
+    pub fn custom(channels: usize, chips_per_channel: usize) -> Self {
+        Self::named("custom", Topology::custom(channels, chips_per_channel))
+    }
+
+    fn named(name: &'static str, topology: Topology) -> Self {
+        SystemConfig {
+            name,
+            engine: EngineConfig::paper(topology),
+            npu: NpuConfig::paper(),
+            quant: Quant::W8A8,
+            strategy: Strategy::HardwareAware,
+            tile_override: None,
+        }
+    }
+
+    /// Returns this config with a different quantization.
+    pub fn with_quant(mut self, quant: Quant) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Returns this config with a different distribution strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns this config with slicing disabled (Figure 12 ablation).
+    pub fn without_read_slice(mut self) -> Self {
+        self.engine.slice = SlicePolicy::Unsliced;
+        self
+    }
+
+    /// Returns this config with a fixed tile shape (Figure 13 ablation).
+    pub fn with_tile(mut self, tile: TileShape) -> Self {
+        self.tile_override = Some(tile);
+        self
+    }
+
+    /// The tiling-model inputs implied by this configuration.
+    pub fn alpha_inputs(&self) -> tiling::AlphaInputs {
+        tiling::AlphaInputs {
+            topology: self.engine.topology,
+            timing: self.engine.timing,
+            core: self.engine.core,
+            slice: self.engine.slice,
+            act_bytes: (self.quant.act_bits() / 8) as usize,
+            weight_bits: self.quant.weight_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_variants_match_table_ii() {
+        let [s, m, l] = SystemConfig::paper_variants();
+        assert_eq!(s.engine.topology.channels, 8);
+        assert_eq!(m.engine.topology.channels, 16);
+        assert_eq!(l.engine.topology.channels, 32);
+        for c in [s, m, l] {
+            assert_eq!(c.quant, Quant::W8A8);
+            assert_eq!(c.strategy, Strategy::HardwareAware);
+            assert!(c.engine.slice.is_sliced());
+            assert!(c.tile_override.is_none());
+        }
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SystemConfig::cambricon_s()
+            .with_quant(Quant::W4A16)
+            .without_read_slice()
+            .with_strategy(Strategy::FlashOnly)
+            .with_tile(TileShape { h_req: 128, w_req: 4096 });
+        assert_eq!(c.quant, Quant::W4A16);
+        assert!(!c.engine.slice.is_sliced());
+        assert_eq!(c.strategy, Strategy::FlashOnly);
+        assert!(c.tile_override.is_some());
+    }
+
+    #[test]
+    fn alpha_inputs_reflect_quant() {
+        let c = SystemConfig::cambricon_s().with_quant(Quant::W4A16);
+        let inp = c.alpha_inputs();
+        assert_eq!(inp.weight_bits, 4);
+        assert_eq!(inp.act_bytes, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cost and storage-density models (Tables I and V).
+
+/// Storage-density entries of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityEntry {
+    /// Manufacturer.
+    pub manufacturer: &'static str,
+    /// Memory type.
+    pub mem_type: &'static str,
+    /// Layer count (3D NAND) or 1 for DRAM.
+    pub layers: u32,
+    /// Areal storage density in Gb/mm².
+    pub density_gb_per_mm2: f64,
+}
+
+/// Table I verbatim.
+pub fn table_i() -> [DensityEntry; 4] {
+    [
+        DensityEntry {
+            manufacturer: "SK hynix",
+            mem_type: "Flash",
+            layers: 300,
+            density_gb_per_mm2: 20.00,
+        },
+        DensityEntry {
+            manufacturer: "Samsung",
+            mem_type: "Flash",
+            layers: 280,
+            density_gb_per_mm2: 28.50,
+        },
+        DensityEntry {
+            manufacturer: "SK hynix",
+            mem_type: "DDR",
+            layers: 1,
+            density_gb_per_mm2: 0.30,
+        },
+        DensityEntry {
+            manufacturer: "SK hynix",
+            mem_type: "LPDDR",
+            layers: 1,
+            density_gb_per_mm2: 0.31,
+        },
+    ]
+}
+
+/// Market prices used by Table V ($ per GB), derived from the table's
+/// own totals (80 GB DRAM = $194.68, 80 GB flash = $38.80).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prices {
+    /// DRAM price in $/GB.
+    pub dram_per_gb: f64,
+    /// NAND flash price in $/GB.
+    pub flash_per_gb: f64,
+}
+
+impl Default for Prices {
+    fn default() -> Self {
+        Prices {
+            dram_per_gb: 194.68 / 80.0,
+            flash_per_gb: 38.80 / 80.0,
+        }
+    }
+}
+
+/// Bill of materials for serving a model of `weight_gb` of weights with
+/// `kv_gb` of KV cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bom {
+    /// DRAM capacity in GB.
+    pub dram_gb: f64,
+    /// Flash capacity in GB.
+    pub flash_gb: f64,
+    /// Total memory cost in dollars.
+    pub total_usd: f64,
+}
+
+/// Cambricon-LLM: weights in flash, only the KV cache in DRAM.
+pub fn cambricon_bom(weight_gb: f64, kv_gb: f64, prices: &Prices) -> Bom {
+    let dram_gb = kv_gb.ceil().max(1.0);
+    Bom {
+        dram_gb,
+        flash_gb: weight_gb,
+        total_usd: dram_gb * prices.dram_per_gb + weight_gb * prices.flash_per_gb,
+    }
+}
+
+/// Traditional architecture: everything in DRAM.
+pub fn traditional_bom(weight_gb: f64, kv_gb: f64, prices: &Prices) -> Bom {
+    let dram_gb = weight_gb + kv_gb.ceil().max(0.0);
+    Bom {
+        dram_gb,
+        flash_gb: 0.0,
+        total_usd: dram_gb * prices.dram_per_gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_totals_reproduce() {
+        // Table V: 70B INT8 → 80 GB storage; Cambricon uses 2 GB DRAM +
+        // 80 GB flash = $43.67; traditional uses 80 GB DRAM = $194.68.
+        let p = Prices::default();
+        let cam = cambricon_bom(80.0, 2.0, &p);
+        assert!((cam.total_usd - 43.67).abs() < 0.05, "{}", cam.total_usd);
+        assert_eq!(cam.dram_gb, 2.0);
+        let trad = traditional_bom(80.0, 0.0, &p);
+        assert!((trad.total_usd - 194.68).abs() < 0.05, "{}", trad.total_usd);
+    }
+
+    #[test]
+    fn cost_advantage_is_about_150_dollars() {
+        // The paper's prose says "$150.01 cheaper"; its own Table V
+        // figures give 194.68 − 43.67 = 151.01 (prose typo).
+        let p = Prices::default();
+        let cam = cambricon_bom(80.0, 2.0, &p);
+        let trad = traditional_bom(80.0, 0.0, &p);
+        let saving = trad.total_usd - cam.total_usd;
+        assert!((saving - 151.01).abs() < 0.5, "{saving}");
+    }
+
+    #[test]
+    fn flash_density_two_orders_above_dram() {
+        // §III-B: flash density is two orders of magnitude above DRAM.
+        let t = table_i();
+        let best_flash = t
+            .iter()
+            .filter(|e| e.mem_type == "Flash")
+            .map(|e| e.density_gb_per_mm2)
+            .fold(0.0, f64::max);
+        let best_dram = t
+            .iter()
+            .filter(|e| e.mem_type != "Flash")
+            .map(|e| e.density_gb_per_mm2)
+            .fold(0.0, f64::max);
+        assert!(best_flash / best_dram > 60.0);
+    }
+
+    #[test]
+    fn a_200gb_chip_is_phone_sized() {
+        // §III-B: "a typical 200GB NAND flash chip occupies about 64mm²"
+        // — check with the Table I densities (200 GB × 8 bit / density).
+        let density = 28.5; // Gb/mm²
+        let area_mm2 = 200.0 * 8.0 / density;
+        assert!((50.0..70.0).contains(&area_mm2), "{area_mm2}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # cambricon-llm — the paper's primary contribution, end to end
+//!
+//! A chiplet-based hybrid architecture: an edge NPU plus a NAND flash
+//! chip with on-die compute cores, cooperating on single-batch LLM
+//! decode (Yu et al., *Cambricon-LLM*, MICRO 2024). This crate composes
+//! the substrate crates into the full system:
+//!
+//! * [`config`] — Table II system configurations (S/M/L + ablations);
+//! * [`system`] — the per-token decode simulator (weight GeMVs on
+//!   flash+NPU via hardware-aware tiling, KV work on NPU/DRAM, SFU ops);
+//! * [`energy`] — the Figure 16 data-movement energy model;
+//! * [`cost`] / [`area`] — Tables I/IV/V (BOM cost, compute-core area);
+//! * [`roofline`] — Figures 1(a)/3(a);
+//! * [`prefill`] — prefill/TTFT model (extension).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cambricon_llm::{System, SystemConfig};
+//! use llm_workload::zoo;
+//!
+//! let mut sys = System::new(SystemConfig::cambricon_l());
+//! let speed = sys.decode_speed(&zoo::llama2_70b(), 1000);
+//! // The headline result: ~3.4 tokens/s for a 70B model on device.
+//! assert!(speed > 2.0, "{speed}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod config;
+pub mod cost;
+pub mod energy;
+pub mod functional;
+pub mod prefill;
+pub mod roofline;
+pub mod sweep;
+pub mod system;
+pub mod validate;
+
+pub use area::{AreaModel, CoreAreaReport};
+pub use config::SystemConfig;
+pub use cost::{cambricon_bom, table_i, traditional_bom, Bom, Prices};
+pub use energy::EnergyModel;
+pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
+pub use prefill::{prefill, PrefillReport};
+pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
+pub use sweep::{smallest_config_reaching, sweep_channels, sweep_chips, SweepPoint};
+pub use system::{System, TokenReport, TrafficBreakdown};
+pub use validate::{cross_check, CrossCheck};

@@ -1,0 +1,118 @@
+//! Prefill-phase model (extension beyond the paper's decode focus).
+//!
+//! §II-A: prefill processes all `m` prompt tokens in parallel, reusing
+//! each weight tile across the whole batch — intensity rises to ~2·m and
+//! the workload turns compute-bound on the NPU. Cambricon-LLM handles
+//! prefill by streaming weights once while the NPU applies them to the
+//! full token block (the flash cores' GeMV path is vector-only, so
+//! prefill GeMM runs on the NPU).
+
+use crate::config::SystemConfig;
+use llm_workload::{decode_step, DecodeOp, ModelSpec};
+use npu_sim::NpuModel;
+use sim_core::SimTime;
+use tiling::effective_rates;
+
+/// Prefill timing for an `m`-token prompt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillReport {
+    /// Prompt length.
+    pub prompt_tokens: usize,
+    /// Total prefill latency.
+    pub total: SimTime,
+    /// Time to first token implied (= prefill latency).
+    pub ttft_s: f64,
+    /// Whether the phase was compute-bound (vs. weight-stream-bound).
+    pub compute_bound: bool,
+}
+
+/// Estimates prefill latency: weights stream from flash once (plain
+/// reads at full channel bandwidth; no read-compute, since the on-die
+/// cores only do GeMV) while the NPU runs the `m`-wide GeMMs.
+pub fn prefill(cfg: &SystemConfig, model: &ModelSpec, prompt_tokens: usize) -> PrefillReport {
+    assert!(prompt_tokens > 0, "empty prompt");
+    let npu = NpuModel::new(cfg.npu);
+    let inp = cfg.alpha_inputs();
+    let tile = cfg
+        .tile_override
+        .unwrap_or_else(|| tiling::optimal_tile(&inp.topology, inp.weight_bits));
+    let rates = effective_rates(&inp, tile);
+    // Full channel bandwidth is available to plain reads during prefill.
+    let stream_bw = inp.timing.channel_bytes_per_sec as f64 * inp.topology.channels as f64;
+    let _ = rates;
+
+    let step = decode_step(model, cfg.quant, prompt_tokens.saturating_sub(1));
+    let weight_bytes = step.total_weight_bytes();
+    let stream_s = weight_bytes as f64 / stream_bw;
+
+    // NPU compute: every op of the step × m tokens (GeMVs become GeMMs).
+    let mut compute = SimTime::ZERO;
+    let m = prompt_tokens as u64;
+    for op in &step.ops {
+        match op {
+            DecodeOp::WeightGemv { rows, cols, .. } => {
+                compute += npu.compute_time(2 * *rows as u64 * *cols as u64 * m);
+            }
+            DecodeOp::KvMatVec { ops, dram_bytes, .. } => {
+                // Attention over the growing prefix ≈ half the full-length
+                // cost per token on average.
+                compute += npu.kv_op_time(ops * m / 2, dram_bytes * m / 2);
+            }
+            DecodeOp::Special { elems, .. } => {
+                compute += npu.sfu_time(elems * m);
+            }
+            DecodeOp::KvAppend { bytes } => {
+                compute += npu.dram_write_time(bytes * m);
+            }
+        }
+    }
+    let compute_s = compute.as_secs_f64();
+    let total_s = stream_s.max(compute_s);
+    PrefillReport {
+        prompt_tokens,
+        total: SimTime::from_secs_f64(total_s),
+        ttft_s: total_s,
+        compute_bound: compute_s > stream_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::zoo;
+
+    #[test]
+    fn short_prompts_are_stream_bound() {
+        let r = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8);
+        assert!(!r.compute_bound);
+        // Streaming 6.7 GB over 8 GB/s ≈ 0.86 s.
+        assert!((0.5..1.5).contains(&r.ttft_s), "{}", r.ttft_s);
+    }
+
+    #[test]
+    fn long_prompts_become_compute_bound() {
+        let short = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8);
+        let long = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 2000);
+        assert!(long.compute_bound);
+        assert!(long.ttft_s > short.ttft_s);
+    }
+
+    #[test]
+    fn prefill_beats_decoding_token_by_token() {
+        // The whole point of the phase split: m tokens via prefill must
+        // be far cheaper than m sequential decode steps.
+        let cfg = SystemConfig::cambricon_s();
+        let model = zoo::opt_6_7b();
+        let m = 256;
+        let pre = prefill(&cfg, &model, m);
+        let mut sys = crate::system::System::new(cfg);
+        let per_token = sys.decode_token(&model, m).total.as_secs_f64();
+        assert!(pre.ttft_s < 0.3 * per_token * m as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn zero_prompt_panics() {
+        prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Roofline analysis (Figures 1(a) and 3(a)).
+//!
+//! The roofline bounds attainable performance at
+//! `min(peak_compute, intensity × bandwidth)`. For a 70B-class model the
+//! weights cannot live in phone DRAM, so a smartphone NPU's *real*
+//! weight path is UFS flash (~4 GB/s) — point A of Figure 3(a) sits at
+//! intensity ≈ 2 on that roofline. Cambricon-LLM's in-flash compute
+//! shrinks the data that must cross to the NPU, simultaneously raising
+//! the effective intensity *at the chiplet boundary* and the aggregate
+//! weight-consumption rate — moving the system to point B.
+
+use crate::config::SystemConfig;
+use tiling::{effective_rates, optimal_tile};
+
+/// A labelled roofline point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label ("Smartphone NPU", "Cambricon-LLM-S", ...).
+    pub name: String,
+    /// Arithmetic intensity in ops/byte (at the bottleneck boundary).
+    pub intensity: f64,
+    /// Attainable performance in GOPS.
+    pub gops: f64,
+}
+
+/// Attainable performance under a roofline.
+pub fn attainable_gops(peak_gops: f64, bw_gb_per_s: f64, intensity: f64) -> f64 {
+    (intensity * bw_gb_per_s).min(peak_gops)
+}
+
+/// Point A of Figure 3(a): a smartphone NPU (~17 TOPS peak) whose
+/// weights stream over UFS 4.0 (~4 GB/s) because a 70B model cannot fit
+/// in DRAM. (§I: UFS offloading caps decode at ~0.06 tok/s.)
+pub fn smartphone_npu_point(intensity: f64) -> RooflinePoint {
+    RooflinePoint {
+        name: "Smartphone NPU (weights via UFS 4.0)".into(),
+        intensity,
+        gops: attainable_gops(17_000.0, 4.0, intensity),
+    }
+}
+
+/// A smartphone NPU with the model fully DRAM-resident (only possible
+/// below ~7B at 4-bit): LPDDR5 at ~51 GB/s.
+pub fn smartphone_dram_point(intensity: f64) -> RooflinePoint {
+    RooflinePoint {
+        name: "Smartphone NPU (weights in DRAM)".into(),
+        intensity,
+        gops: attainable_gops(17_000.0, 51.0, intensity),
+    }
+}
+
+/// Point B of Figure 3(a): a Cambricon-LLM configuration. In-flash
+/// compute consumes most weight bytes on-die, so the D2D boundary sees
+/// `algorithmic intensity × (weights consumed / bytes crossing)` —
+/// a much higher effective intensity — while the attainable rate is the
+/// aggregate flash consumption rate times the algorithmic intensity.
+pub fn cambricon_point(cfg: &SystemConfig, intensity: f64) -> RooflinePoint {
+    let inp = cfg.alpha_inputs();
+    let tile = cfg
+        .tile_override
+        .unwrap_or_else(|| optimal_tile(&inp.topology, inp.weight_bits));
+    let rates = effective_rates(&inp, tile);
+    let topo = &inp.topology;
+    let cc = topo.compute_cores_per_channel() as f64;
+    let page = topo.page_bytes as f64;
+
+    // Per round and channel: (cc + reads) pages of weights consumed;
+    // crossing the boundary: read pages + input + results.
+    let weights_per_round = (cc + rates.reads_per_round) * page;
+    let input_bytes = (tile.w_req / topo.channels * inp.act_bytes) as f64;
+    let result_bytes = tile.h_req as f64 * inp.act_bytes as f64; // all cores
+    let crossing_per_round = rates.reads_per_round * page + input_bytes + result_bytes;
+    let eff_intensity = intensity * weights_per_round / crossing_per_round;
+
+    let device_bw_gb = rates.channel_bytes_per_sec * topo.channels as f64 / 1e9;
+    RooflinePoint {
+        name: cfg.name.to_string(),
+        intensity: eff_intensity,
+        gops: attainable_gops(
+            cfg.npu.peak_ops_per_sec() as f64 / 1e9,
+            device_bw_gb,
+            intensity,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_is_min_of_two_bounds() {
+        assert_eq!(attainable_gops(100.0, 10.0, 2.0), 20.0); // bandwidth-bound
+        assert_eq!(attainable_gops(100.0, 10.0, 50.0), 100.0); // compute-bound
+    }
+
+    #[test]
+    fn cambricon_moves_the_point_up_and_right() {
+        // Figure 3(a): B sits far above A in both intensity and GOPS.
+        let a = smartphone_npu_point(2.0);
+        let b = cambricon_point(&SystemConfig::cambricon_l(), 2.0);
+        assert!(b.gops > 10.0 * a.gops, "A {} vs B {}", a.gops, b.gops);
+        assert!(b.intensity > 2.0 * a.intensity, "{}", b.intensity);
+    }
+
+    #[test]
+    fn even_cam_s_beats_dram_resident_npu_at_scale() {
+        // For models that fit DRAM the phone NPU manages ~102 GOPS; all
+        // Cambricon variants past S exceed it, and S approaches it while
+        // holding 10× larger models.
+        let dram = smartphone_dram_point(2.0);
+        let m = cambricon_point(&SystemConfig::cambricon_m(), 2.0);
+        assert!(m.gops > dram.gops, "{} vs {}", m.gops, dram.gops);
+    }
+
+    #[test]
+    fn decode_is_bandwidth_bound_everywhere() {
+        for cfg in SystemConfig::paper_variants() {
+            let p = cambricon_point(&cfg, 2.0);
+            assert!(p.gops < cfg.npu.peak_ops_per_sec() as f64 / 1e9);
+        }
+    }
+
+    #[test]
+    fn larger_configs_have_higher_points() {
+        let s = cambricon_point(&SystemConfig::cambricon_s(), 2.0);
+        let m = cambricon_point(&SystemConfig::cambricon_m(), 2.0);
+        let l = cambricon_point(&SystemConfig::cambricon_l(), 2.0);
+        assert!(s.gops < m.gops && m.gops < l.gops);
+    }
+
+    #[test]
+    fn prefill_reaches_compute_bound() {
+        // At prefill intensity (~hundreds), the NPU peak is the limit.
+        let p = cambricon_point(&SystemConfig::cambricon_l(), 500.0);
+        let peak = SystemConfig::cambricon_l().npu.peak_ops_per_sec() as f64 / 1e9;
+        assert_eq!(p.gops, peak);
+    }
+}

@@ -1,0 +1,114 @@
+//! Structured design-space sweeps (Figure 15 and §VIII-E).
+
+use crate::config::SystemConfig;
+use crate::system::System;
+use llm_workload::ModelSpec;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Channels in the configuration.
+    pub channels: usize,
+    /// Chips per channel.
+    pub chips_per_channel: usize,
+    /// Decode speed in tokens/s.
+    pub tokens_per_sec: f64,
+    /// Mean channel utilization.
+    pub channel_utilization: f64,
+}
+
+/// Sweeps chips-per-channel at a fixed channel count (Figure 15(a)/(c)).
+pub fn sweep_chips(
+    model: &ModelSpec,
+    channels: usize,
+    chips: &[usize],
+    seq_len: usize,
+) -> Vec<SweepPoint> {
+    chips
+        .iter()
+        .map(|&c| evaluate(model, channels, c, seq_len))
+        .collect()
+}
+
+/// Sweeps channel count at fixed chips per channel (Figure 15(b)/(d)).
+pub fn sweep_channels(
+    model: &ModelSpec,
+    channel_counts: &[usize],
+    chips_per_channel: usize,
+    seq_len: usize,
+) -> Vec<SweepPoint> {
+    channel_counts
+        .iter()
+        .map(|&ch| evaluate(model, ch, chips_per_channel, seq_len))
+        .collect()
+}
+
+fn evaluate(model: &ModelSpec, channels: usize, chips: usize, seq_len: usize) -> SweepPoint {
+    let mut sys = System::new(SystemConfig::custom(channels, chips));
+    let rep = sys.decode_token(model, seq_len);
+    SweepPoint {
+        channels,
+        chips_per_channel: chips,
+        tokens_per_sec: rep.tokens_per_sec,
+        channel_utilization: rep.channel_utilization,
+    }
+}
+
+/// Finds the smallest configuration (by total compute cores) in a grid
+/// that reaches `min_tokens_per_sec` — the sizing question an architect
+/// actually asks ("what do I need for interactive 70B?").
+pub fn smallest_config_reaching(
+    model: &ModelSpec,
+    min_tokens_per_sec: f64,
+    seq_len: usize,
+) -> Option<SweepPoint> {
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for ch in [4usize, 8, 16, 32, 64] {
+        for chips in [1usize, 2, 4, 8] {
+            candidates.push((ch, chips));
+        }
+    }
+    // Ascending by core count so the first hit is the smallest.
+    candidates.sort_by_key(|&(ch, chips)| ch * chips);
+    candidates
+        .into_iter()
+        .map(|(ch, chips)| evaluate(model, ch, chips, seq_len))
+        .find(|p| p.tokens_per_sec >= min_tokens_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::zoo;
+
+    #[test]
+    fn chip_sweep_is_monotone_per_figure_15() {
+        let pts = sweep_chips(&zoo::opt_6_7b(), 8, &[1, 2, 4, 8], 500);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].tokens_per_sec >= w[0].tokens_per_sec * 0.95);
+        }
+    }
+
+    #[test]
+    fn channel_sweep_scales_steadily() {
+        let pts = sweep_channels(&zoo::opt_6_7b(), &[2, 4, 8, 16], 4, 500);
+        for w in pts.windows(2) {
+            assert!(w[1].tokens_per_sec > w[0].tokens_per_sec * 1.3);
+        }
+    }
+
+    #[test]
+    fn sizing_for_interactive_70b() {
+        // 3 tok/s for Llama2-70B needs a Cam-L-class device, not Cam-S.
+        let p = smallest_config_reaching(&zoo::llama2_70b(), 3.0, 1000).unwrap();
+        let cores = p.channels * p.chips_per_channel * 2;
+        assert!(cores > 64, "found {}ch x {}chips", p.channels, p.chips_per_channel);
+        assert!(p.tokens_per_sec >= 3.0);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        assert!(smallest_config_reaching(&zoo::llama2_70b(), 1e9, 100).is_none());
+    }
+}

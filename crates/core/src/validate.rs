@@ -1,0 +1,103 @@
+//! Cross-validation of the discrete-event simulator against the
+//! paper's closed-form §V-B model.
+//!
+//! The DES and the analytic rate model are implemented independently
+//! (crates `flash-sim` and `tiling`); agreement between them is a
+//! strong internal-consistency check and the ground for trusting the
+//! figure reproductions. [`cross_check`] runs a steady-state workload
+//! through both and reports the relative disagreement.
+
+use crate::config::SystemConfig;
+use flash_sim::{ChannelWorkload, FlashDevice};
+use tiling::{effective_rates, optimal_tile};
+
+/// Disagreement report between the DES and the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossCheck {
+    /// Analytic prediction of the per-channel weight consumption rate
+    /// (bytes/s).
+    pub analytic_bytes_per_sec: f64,
+    /// Rate measured by the discrete-event simulator.
+    pub simulated_bytes_per_sec: f64,
+    /// `|analytic − simulated| / analytic`.
+    pub relative_error: f64,
+    /// Rounds simulated.
+    pub rounds: usize,
+}
+
+/// Runs `rounds` of balanced steady-state work through the DES and
+/// compares against the closed-form rate.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `rounds == 0`.
+pub fn cross_check(cfg: &SystemConfig, rounds: usize) -> CrossCheck {
+    assert!(rounds > 0, "need at least one round");
+    let inp = cfg.alpha_inputs();
+    let tile = cfg
+        .tile_override
+        .unwrap_or_else(|| optimal_tile(&inp.topology, inp.weight_bits));
+    let rates = effective_rates(&inp, tile);
+
+    // Build the balanced workload the analytic model assumes.
+    let reads = (rates.reads_per_round * rounds as f64).round() as usize;
+    let wl = ChannelWorkload {
+        rc_rounds: rounds,
+        rc_input_bytes: (tile.w_req / inp.topology.channels * inp.act_bytes) as u64,
+        rc_result_bytes_per_core: (tile.h_req / inp.topology.compute_cores_per_channel()
+            * inp.act_bytes) as u64,
+        ops_per_page: 2 * tiling::page_params(&inp.topology, inp.weight_bits),
+        read_pages: reads,
+    };
+    let rep = FlashDevice::new(cfg.engine).run_uniform(wl);
+
+    let cores = inp.topology.compute_cores_per_channel() as f64;
+    let page = inp.topology.page_bytes as f64;
+    let pages = rounds as f64 * cores + reads as f64;
+    let simulated = pages * page / (rep.finish.as_secs_f64() / 1.0);
+    let analytic = rates.channel_bytes_per_sec;
+    CrossCheck {
+        analytic_bytes_per_sec: analytic,
+        simulated_bytes_per_sec: simulated,
+        relative_error: (analytic - simulated).abs() / analytic,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn des_matches_analytic_within_10_percent() {
+        for cfg in SystemConfig::paper_variants() {
+            let c = cross_check(&cfg, 400);
+            assert!(
+                c.relative_error < 0.10,
+                "{}: analytic {:.2} GB/s vs DES {:.2} GB/s ({:.1}%)",
+                cfg.name,
+                c.analytic_bytes_per_sec / 1e9,
+                c.simulated_bytes_per_sec / 1e9,
+                c.relative_error * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_improves_with_longer_runs() {
+        // Pipeline fill/drain amortizes away: long runs must agree at
+        // least as well as short ones (allowing small noise).
+        let cfg = SystemConfig::cambricon_s();
+        let short = cross_check(&cfg, 20);
+        let long = cross_check(&cfg, 800);
+        assert!(long.relative_error <= short.relative_error + 0.02,
+            "short {} long {}", short.relative_error, long.relative_error);
+    }
+
+    #[test]
+    fn w4_configs_also_agree() {
+        let cfg = SystemConfig::cambricon_s().with_quant(llm_workload::Quant::W4A16);
+        let c = cross_check(&cfg, 300);
+        assert!(c.relative_error < 0.12, "{}", c.relative_error);
+    }
+}

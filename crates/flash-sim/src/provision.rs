@@ -1,0 +1,152 @@
+//! Model provisioning: writing weights into the flash (extension).
+//!
+//! §III-B argues slow NAND writes are irrelevant for inference because
+//! "edge-based LLM inference tasks ... solely involve reading weight
+//! data from flash". This module quantifies the one-time cost that
+//! argument hides: loading (or updating) a model image. Programming is
+//! page-sized and 1–2 orders of magnitude slower than reading
+//! (`t_prog`), but dies program in parallel while the channel streams
+//! data in, so the device behaves like a pipeline whose bottleneck is
+//! `min(channel bandwidth, dies × page/t_prog)` per channel.
+
+use crate::timing::Timing;
+use crate::topology::Topology;
+use sim_core::SimTime;
+
+/// Result of a bulk model-load estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProvisionReport {
+    /// Bytes written.
+    pub bytes: u64,
+    /// Total load time.
+    pub total: SimTime,
+    /// Whether programming (true) or the channel (false) was the
+    /// bottleneck.
+    pub program_bound: bool,
+    /// Effective write bandwidth achieved, bytes/second.
+    pub effective_bytes_per_sec: f64,
+    /// Blocks erased beforehand (block = 256 pages assumed).
+    pub blocks_erased: u64,
+}
+
+/// Pages per erase block (typical 3D TLC geometry).
+pub const PAGES_PER_BLOCK: u64 = 256;
+
+/// Estimates the time to bulk-load `bytes` of model weights, erasing
+/// the target blocks first and then streaming pages to all channels.
+///
+/// # Panics
+///
+/// Panics if the topology is invalid.
+pub fn bulk_load(topo: &Topology, timing: &Timing, bytes: u64) -> ProvisionReport {
+    topo.validate().expect("invalid topology");
+    if bytes == 0 {
+        return ProvisionReport {
+            bytes: 0,
+            total: SimTime::ZERO,
+            program_bound: false,
+            effective_bytes_per_sec: 0.0,
+            blocks_erased: 0,
+        };
+    }
+    let page = topo.page_bytes as u64;
+    let pages = bytes.div_ceil(page);
+    let channels = topo.channels as u64;
+    let dies_per_channel = topo.dies_per_channel() as u64;
+    // Planes program independently (multi-plane program), so each die
+    // sustains planes × page / t_prog.
+    let planes = topo.planes_per_die as u64;
+
+    // Erase: blocks spread across all dies erase in parallel waves.
+    let blocks = pages.div_ceil(PAGES_PER_BLOCK);
+    let total_dies = channels * dies_per_channel;
+    let erase_waves = blocks.div_ceil(total_dies);
+    let erase_time = timing.t_erase * erase_waves;
+
+    // Program: per channel, pages stream over the bus (plus command
+    // overhead) and program in parallel across dies/planes.
+    let pages_per_channel = pages.div_ceil(channels);
+    let bus_per_page = timing.bus_occupancy(page).as_secs_f64();
+    let prog_rate_pages =
+        dies_per_channel as f64 * planes as f64 / timing.t_prog.as_secs_f64();
+    let bus_rate_pages = 1.0 / bus_per_page;
+    let program_bound = prog_rate_pages < bus_rate_pages;
+    let rate = prog_rate_pages.min(bus_rate_pages);
+    let program_time = SimTime::from_secs_f64(pages_per_channel as f64 / rate);
+
+    let total = erase_time + program_time + timing.t_prog; // + drain of last page
+    ProvisionReport {
+        bytes,
+        total,
+        program_bound,
+        effective_bytes_per_sec: bytes as f64 / total.as_secs_f64(),
+        blocks_erased: blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loading_70b_takes_minutes_not_hours() {
+        // 69 GB onto Cambricon-LLM-S: 32 dies × 2 planes × 16 KB/600 µs
+        // ≈ 1.7 GB/s program rate vs 8 GB/s of channels → program-bound,
+        // roughly 40–90 s.
+        let r = bulk_load(
+            &Topology::cambricon_s(),
+            &Timing::paper(),
+            69_000_000_000,
+        );
+        assert!(r.program_bound);
+        let secs = r.total.as_secs_f64();
+        assert!((20.0..200.0).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn bigger_devices_load_faster() {
+        let t = Timing::paper();
+        let s = bulk_load(&Topology::cambricon_s(), &t, 10_000_000_000);
+        let l = bulk_load(&Topology::cambricon_l(), &t, 10_000_000_000);
+        assert!(l.total < s.total);
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let r = bulk_load(&Topology::cambricon_s(), &Timing::paper(), 0);
+        assert_eq!(r.total, SimTime::ZERO);
+        assert_eq!(r.blocks_erased, 0);
+    }
+
+    #[test]
+    fn write_far_slower_than_read_rate() {
+        // §III-B's premise: writes are 1–2 orders slower than reads.
+        // Read-side consumption on Cam-S is ~24 GB/s (decode), write
+        // side must be well under a tenth of that.
+        let r = bulk_load(&Topology::cambricon_s(), &Timing::paper(), 1 << 34);
+        assert!(r.effective_bytes_per_sec < 3e9, "{}", r.effective_bytes_per_sec);
+    }
+
+    #[test]
+    fn erase_accounting() {
+        let topo = Topology::cambricon_s();
+        let t = Timing::paper();
+        let one_block = PAGES_PER_BLOCK * topo.page_bytes as u64;
+        let r = bulk_load(&topo, &t, one_block);
+        assert_eq!(r.blocks_erased, 1);
+        let r2 = bulk_load(&topo, &t, one_block * 10);
+        assert_eq!(r2.blocks_erased, 10);
+    }
+
+    #[test]
+    fn channel_bound_when_single_die() {
+        // One die per channel can still program 2 planes in parallel:
+        // 2 × 16 KB / 600 µs ≈ 55 MB/s « 1 GB/s bus → program-bound.
+        // Conversely a hypothetical ultra-fast program flips the bound.
+        let topo = Topology::custom(8, 1);
+        let mut fast = Timing::paper();
+        fast.t_prog = SimTime::from_micros(10);
+        let r = bulk_load(&topo, &fast, 1 << 30);
+        assert!(!r.program_bound);
+    }
+}

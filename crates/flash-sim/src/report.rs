@@ -1,0 +1,97 @@
+//! Simulation reports.
+
+use sim_core::SimTime;
+
+/// Result of running one channel's workload to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelReport {
+    /// Time the last transfer completed.
+    pub finish: SimTime,
+    /// Time the last read-compute result was delivered.
+    pub rc_finish: SimTime,
+    /// Time the last plain-read page was delivered.
+    pub read_finish: SimTime,
+    /// Total channel-bus busy time.
+    pub bus_busy: SimTime,
+    /// Bus busy fraction over `[0, finish)`.
+    pub utilization: f64,
+    /// Control bytes moved (inputs + results).
+    pub control_bytes: u64,
+    /// Read-page bytes moved to the NPU.
+    pub read_bytes: u64,
+    /// Read-compute rounds retired.
+    pub rc_rounds_done: usize,
+    /// Plain-read pages delivered.
+    pub read_pages_done: usize,
+    /// Discrete events processed (diagnostics).
+    pub events: u64,
+}
+
+impl ChannelReport {
+    /// An all-zero report for an empty workload.
+    pub fn empty() -> Self {
+        ChannelReport {
+            finish: SimTime::ZERO,
+            rc_finish: SimTime::ZERO,
+            read_finish: SimTime::ZERO,
+            bus_busy: SimTime::ZERO,
+            utilization: 0.0,
+            control_bytes: 0,
+            read_bytes: 0,
+            rc_rounds_done: 0,
+            read_pages_done: 0,
+            events: 0,
+        }
+    }
+}
+
+/// Result of running a full device (all channels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceReport {
+    /// Completion time: the slowest channel's finish.
+    pub finish: SimTime,
+    /// Mean channel-bus utilization across channels.
+    pub mean_utilization: f64,
+    /// Total bytes delivered to the NPU (results + read pages), summed
+    /// over channels.
+    pub bytes_to_npu: u64,
+    /// Total bytes sent from the NPU to the flash (input vectors).
+    pub bytes_from_npu: u64,
+    /// Total weight bytes *consumed inside* the flash by compute cores
+    /// (never crossing the channel) — the in-storage-computing saving.
+    pub bytes_computed_in_flash: u64,
+    /// Channels simulated.
+    pub channels: usize,
+}
+
+impl DeviceReport {
+    /// Total D2D-link traffic in both directions.
+    pub fn d2d_bytes(&self) -> u64 {
+        self.bytes_to_npu + self.bytes_from_npu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = ChannelReport::empty();
+        assert_eq!(r.finish, SimTime::ZERO);
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn d2d_sums_directions() {
+        let d = DeviceReport {
+            finish: SimTime::from_micros(1),
+            mean_utilization: 0.5,
+            bytes_to_npu: 100,
+            bytes_from_npu: 30,
+            bytes_computed_in_flash: 1000,
+            channels: 8,
+        };
+        assert_eq!(d.d2d_bytes(), 130);
+    }
+}

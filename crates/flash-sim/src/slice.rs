@@ -1,0 +1,90 @@
+//! Slice Control (§IV-C).
+//!
+//! A plain read request moves a whole 16 KB page over the channel
+//! (~16.4 µs at 1 GB/s). Left unsliced, such a transfer cannot fit in
+//! the channel-occupancy bubbles between read-compute control transfers
+//! and ends up blocking them (Figure 6(b)). The Slice Control segments
+//! each page transfer into small slices that are interposed in the
+//! bubbles (Figure 6(c)).
+//!
+//! In this simulator the policy also selects the channel arbitration
+//! discipline, which is what the mechanism amounts to in hardware:
+//!
+//! * [`SlicePolicy::Sliced`] — read data moves in `slice_bytes` chunks
+//!   and read-compute control transfers have priority over read slices,
+//! * [`SlicePolicy::Unsliced`] — pages move as single transactions in
+//!   FIFO order with control transfers (the Figure 6(b) baseline).
+
+/// Slice-control policy for plain-read traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlicePolicy {
+    /// Page reads are segmented into `slice_bytes` chunks; control
+    /// transfers take priority (the paper's mechanism).
+    Sliced {
+        /// Slice granularity in bytes.
+        slice_bytes: usize,
+    },
+    /// Page reads occupy the channel as one monolithic transaction and
+    /// all transfers are served FIFO.
+    Unsliced,
+}
+
+impl Default for SlicePolicy {
+    /// The paper's mechanism with a 2 KB slice.
+    fn default() -> Self {
+        SlicePolicy::Sliced { slice_bytes: 2048 }
+    }
+}
+
+impl SlicePolicy {
+    /// Whether slicing is enabled.
+    pub fn is_sliced(&self) -> bool {
+        matches!(self, SlicePolicy::Sliced { .. })
+    }
+
+    /// The chunk size a page transfer is divided into.
+    pub fn chunk_bytes(&self, page_bytes: usize) -> usize {
+        match *self {
+            SlicePolicy::Sliced { slice_bytes } => slice_bytes.min(page_bytes).max(1),
+            SlicePolicy::Unsliced => page_bytes,
+        }
+    }
+
+    /// Number of chunks a page transfer becomes.
+    pub fn chunks_per_page(&self, page_bytes: usize) -> usize {
+        page_bytes.div_ceil(self.chunk_bytes(page_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sliced_2k() {
+        let p = SlicePolicy::default();
+        assert!(p.is_sliced());
+        assert_eq!(p.chunk_bytes(16384), 2048);
+        assert_eq!(p.chunks_per_page(16384), 8);
+    }
+
+    #[test]
+    fn unsliced_is_one_chunk() {
+        let p = SlicePolicy::Unsliced;
+        assert_eq!(p.chunk_bytes(16384), 16384);
+        assert_eq!(p.chunks_per_page(16384), 1);
+    }
+
+    #[test]
+    fn oversized_slice_clamps_to_page() {
+        let p = SlicePolicy::Sliced { slice_bytes: 1 << 20 };
+        assert_eq!(p.chunk_bytes(16384), 16384);
+        assert_eq!(p.chunks_per_page(16384), 1);
+    }
+
+    #[test]
+    fn ragged_last_chunk_counts() {
+        let p = SlicePolicy::Sliced { slice_bytes: 3000 };
+        assert_eq!(p.chunks_per_page(16384), 6); // 5×3000 + 1384
+    }
+}

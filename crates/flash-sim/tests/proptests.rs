@@ -1,0 +1,108 @@
+//! Property tests for the flash discrete-event engine.
+
+use flash_sim::{
+    ChannelEngine, ChannelWorkload, EngineConfig, SlicePolicy, Timing, Topology,
+};
+use proptest::prelude::*;
+use sim_core::SimTime;
+
+fn wl(rc: usize, reads: usize) -> ChannelWorkload {
+    ChannelWorkload {
+        rc_rounds: rc,
+        rc_input_bytes: 256,
+        rc_result_bytes_per_core: 64,
+        ops_per_page: 32768,
+        read_pages: reads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine terminates for arbitrary topologies and workloads,
+    /// conserving work counts.
+    #[test]
+    fn terminates_on_arbitrary_topologies(
+        channels_exp in 0u32..4,
+        chips in 1usize..6,
+        dies in 1usize..3,
+        planes in 1usize..3,
+        rc in 0usize..30,
+        reads in 0usize..30,
+    ) {
+        let mut topo = Topology::custom(1 << channels_exp, chips);
+        topo.dies_per_chip = dies;
+        topo.planes_per_die = planes;
+        let cfg = EngineConfig::paper(topo);
+        let rep = ChannelEngine::new(cfg, wl(rc, reads)).run();
+        prop_assert_eq!(rep.rc_rounds_done, rc);
+        prop_assert_eq!(rep.read_pages_done, reads);
+    }
+
+    /// Simulated time lower bounds: a channel can never finish faster
+    /// than its array reads or its bus transfers allow.
+    #[test]
+    fn physics_lower_bounds(rc in 1usize..40, reads in 0usize..40) {
+        let cfg = EngineConfig::paper(Topology::cambricon_s());
+        let rep = ChannelEngine::new(cfg, wl(rc, reads)).run();
+        // Array-read bound: each die's plane pipelines one page per tR.
+        let per_die_pages = rc; // plane 0 processes rc pages in order
+        let array_bound = SimTime::from_micros(30) * per_die_pages as u64;
+        prop_assert!(rep.finish >= array_bound,
+            "finish {} < array bound {}", rep.finish, array_bound);
+        // Bus bound: all bytes must cross a 1 GB/s link.
+        let bytes = rep.control_bytes + rep.read_bytes;
+        let bus_bound = SimTime::from_nanos(bytes); // 1 B/ns
+        prop_assert!(rep.finish >= bus_bound);
+        prop_assert!(rep.bus_busy >= bus_bound);
+    }
+
+    /// In the contended steady-state regime (reads riding in the
+    /// bubbles of an ongoing read-compute stream — the Figure 12
+    /// scenario) slicing dominates. Outside that regime slicing's extra
+    /// per-chunk commands can cost a little, so the property is scoped
+    /// to it.
+    #[test]
+    fn sliced_dominates_unsliced_when_contended(rc in 8usize..40, extra in 0usize..8) {
+        let reads = rc + rc / 2 + extra; // ≈ the balanced NPU share
+        let sliced = ChannelEngine::new(
+            EngineConfig::paper(Topology::cambricon_s()), wl(rc, reads)).run();
+        let mut cfg = EngineConfig::paper(Topology::cambricon_s());
+        cfg.slice = SlicePolicy::Unsliced;
+        let unsliced = ChannelEngine::new(cfg, wl(rc, reads)).run();
+        prop_assert!(
+            unsliced.finish.as_picos() as f64 >= sliced.finish.as_picos() as f64 * 0.99,
+            "unsliced {} < sliced {}", unsliced.finish, sliced.finish);
+    }
+
+    /// Doubling channel bandwidth never slows a workload down.
+    #[test]
+    fn faster_bus_helps(rc in 1usize..25, reads in 0usize..40) {
+        let slow = EngineConfig::paper(Topology::cambricon_s());
+        let mut fast = slow;
+        fast.timing = Timing {
+            channel_bytes_per_sec: 2_000_000_000,
+            ..Timing::paper()
+        };
+        let a = ChannelEngine::new(slow, wl(rc, reads)).run();
+        let b = ChannelEngine::new(fast, wl(rc, reads)).run();
+        // Event-driven arbitration can re-order transfers, so allow a
+        // 2% Graham-anomaly slack; the bus itself must do less work.
+        prop_assert!(
+            b.finish.as_picos() as f64 <= a.finish.as_picos() as f64 * 1.02,
+            "{} vs {}", b.finish, a.finish
+        );
+        prop_assert!(b.bus_busy <= a.bus_busy);
+    }
+
+    /// Utilization and byte accounting invariants hold under slice-size
+    /// variation.
+    #[test]
+    fn slice_size_invariants(slice_kb in 1usize..9, rc in 1usize..20, reads in 1usize..40) {
+        let mut cfg = EngineConfig::paper(Topology::cambricon_s());
+        cfg.slice = SlicePolicy::Sliced { slice_bytes: slice_kb * 1024 };
+        let rep = ChannelEngine::new(cfg, wl(rc, reads)).run();
+        prop_assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
+        prop_assert_eq!(rep.read_bytes, reads as u64 * 16 * 1024);
+    }
+}

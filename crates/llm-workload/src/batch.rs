@@ -1,0 +1,101 @@
+//! Batch-size analytics (the §III-A motivation).
+//!
+//! Cloud serving amortizes each weight fetch over a large batch;
+//! personal-agent inference is batch-1 and cannot. This module
+//! quantifies that cliff: arithmetic intensity of the decode phase as a
+//! function of batch size, showing why every prior accelerator point in
+//! Figure 1(a) is irrelevant at the edge and why Cambricon-LLM attacks
+//! the bandwidth side instead of the compute side.
+
+use crate::ops::decode_step;
+use crate::quant::Quant;
+use crate::spec::ModelSpec;
+
+/// Decode-phase arithmetic intensity at a given batch size.
+///
+/// Weights are fetched once per step regardless of batch; compute and
+/// KV traffic scale with it.
+pub fn batched_decode_intensity(
+    model: &ModelSpec,
+    quant: Quant,
+    seq_len: usize,
+    batch: usize,
+) -> f64 {
+    assert!(batch >= 1, "batch must be at least 1");
+    let step = decode_step(model, quant, seq_len);
+    let ops = step.total_ops() * batch as u64;
+    let bytes = step.total_weight_bytes() + step.total_dram_bytes() * batch as u64;
+    ops as f64 / bytes as f64
+}
+
+/// The batch size at which decode stops being weight-bound on hardware
+/// with the given compute/bandwidth ratio (ops per byte): the smallest
+/// batch whose intensity reaches `hw_ops_per_byte`.
+pub fn batch_to_saturate(
+    model: &ModelSpec,
+    quant: Quant,
+    seq_len: usize,
+    hw_ops_per_byte: f64,
+) -> Option<usize> {
+    let mut b = 1usize;
+    while b <= 1 << 16 {
+        if batched_decode_intensity(model, quant, seq_len, b) >= hw_ops_per_byte {
+            return Some(b);
+        }
+        b *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn batch_one_is_the_paper_number() {
+        let i = batched_decode_intensity(&zoo::opt_6_7b(), Quant::W8A8, 128, 1);
+        assert!((1.8..2.3).contains(&i), "{i}");
+    }
+
+    #[test]
+    fn intensity_grows_sublinearly_then_saturates() {
+        // KV traffic also scales with batch, so intensity grows with
+        // batch but saturates at the weights/KV ratio.
+        let m = zoo::opt_6_7b();
+        let i1 = batched_decode_intensity(&m, Quant::W8A8, 1000, 1);
+        let i32x = batched_decode_intensity(&m, Quant::W8A8, 1000, 32);
+        let i1k = batched_decode_intensity(&m, Quant::W8A8, 1000, 1024);
+        assert!(i32x > 10.0 * i1, "{i32x} vs {i1}");
+        assert!(i1k < 64.0 * i32x); // saturation
+    }
+
+    #[test]
+    fn cloud_batches_saturate_an_a100_edge_cannot() {
+        // A100: ~306 ops/byte. At short context a serving batch of a
+        // few hundred gets there; batch-1 is ~150× short. (At long
+        // context even infinite batch cannot — KV traffic dominates —
+        // which `long_contexts_cap_the_benefit` covers.)
+        let m = zoo::opt_13b();
+        let need = batch_to_saturate(&m, Quant::W8A8, 128, 306.0).unwrap();
+        assert!((64..4096).contains(&need), "{need}");
+        let edge = batched_decode_intensity(&m, Quant::W8A8, 128, 1);
+        assert!(306.0 / edge > 100.0);
+    }
+
+    #[test]
+    fn long_contexts_cap_the_benefit() {
+        // At long context the KV cache dominates batched traffic and
+        // intensity saturates lower.
+        let m = zoo::llama2_7b();
+        let short = batched_decode_intensity(&m, Quant::W8A8, 64, 512);
+        let long = batched_decode_intensity(&m, Quant::W8A8, 4000, 512);
+        assert!(long < short);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_panics() {
+        batched_decode_intensity(&zoo::opt_6_7b(), Quant::W8A8, 10, 0);
+    }
+}

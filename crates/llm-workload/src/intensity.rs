@@ -1,0 +1,205 @@
+//! Arithmetic-intensity and reduction-ratio analytics (Figures 1 and 3(a)).
+//!
+//! Figure 1(a) compares the arithmetic intensity (ops per byte moved
+//! between slow and fast memory) of single-batch LLM decode against other
+//! AI workloads and against hardware compute/bandwidth ratios. Figure 1(b)
+//! compares the *reduction ratio* (input bytes / output bytes of an
+//! operator) of LLM GeMV against prior in-storage-computing scenarios.
+//!
+//! Values for third-party workloads/hardware are documented literature
+//! estimates (we cannot run DLRM or an A100 here); the LLM numbers are
+//! computed from our own op streams.
+
+use crate::ops::{decode_step, DecodeOp};
+use crate::quant::Quant;
+use crate::spec::ModelSpec;
+
+/// A named point on the arithmetic-intensity axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensityPoint {
+    /// Display name.
+    pub name: String,
+    /// Arithmetic intensity in ops/byte.
+    pub ops_per_byte: f64,
+    /// Whether this is a workload (true) or a hardware capability (false).
+    pub is_workload: bool,
+}
+
+/// Computed arithmetic intensity of single-batch decode for `model`.
+pub fn decode_intensity(model: &ModelSpec, quant: Quant, seq_len: usize) -> f64 {
+    let step = decode_step(model, quant, seq_len);
+    step.total_ops() as f64 / (step.total_weight_bytes() + step.total_dram_bytes()) as f64
+}
+
+/// Arithmetic intensity of the prefill phase with an `m`-token prompt:
+/// weights are reused across all `m` tokens, so intensity scales with
+/// `m` until compute saturates.
+pub fn prefill_intensity(model: &ModelSpec, quant: Quant, prompt_len: usize) -> f64 {
+    let step = decode_step(model, quant, 0);
+    // Prefill moves the weights once but performs `m×` the GeMV work.
+    let ops = step.total_ops() * prompt_len as u64;
+    let bytes = step.total_weight_bytes() + step.total_dram_bytes() * prompt_len as u64;
+    ops as f64 / bytes as f64
+}
+
+/// Literature-estimate workload intensities for Figure 1(a) context.
+/// Sources: DLRM/BERT from the arithmetic-intensity survey the paper
+/// cites (Kim et al. 2023); VGG-16 from its FLOPs/weights ratio.
+pub fn reference_workloads() -> Vec<IntensityPoint> {
+    vec![
+        IntensityPoint {
+            name: "DLRM".into(),
+            ops_per_byte: 60.0,
+            is_workload: true,
+        },
+        IntensityPoint {
+            name: "BERT".into(),
+            ops_per_byte: 207.0,
+            is_workload: true,
+        },
+        IntensityPoint {
+            name: "VGG-16".into(),
+            ops_per_byte: 560.0,
+            is_workload: true,
+        },
+    ]
+}
+
+/// Hardware compute/bandwidth ratios for Figure 1(a)/3(a): INT8 TOPS
+/// divided by memory bandwidth.
+pub fn reference_hardware() -> Vec<IntensityPoint> {
+    vec![
+        // Apple A16: ~17 TOPS NPU, ~51 GB/s LPDDR5.
+        IntensityPoint {
+            name: "Apple A16".into(),
+            ops_per_byte: 17e12 / 51e9,
+            is_workload: false,
+        },
+        // NVIDIA A100 80G: 624 TOPS INT8, 2039 GB/s HBM2e.
+        IntensityPoint {
+            name: "NVIDIA A100".into(),
+            ops_per_byte: 624e12 / 2039e9,
+            is_workload: false,
+        },
+        // NVIDIA Jetson Orin: 275 TOPS INT8, 204.8 GB/s LPDDR5.
+        IntensityPoint {
+            name: "Jetson Orin".into(),
+            ops_per_byte: 275e12 / 204.8e9,
+            is_workload: false,
+        },
+    ]
+}
+
+/// A named reduction-ratio point for Figure 1(b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionPoint {
+    /// Scenario name.
+    pub name: String,
+    /// Input bytes divided by output bytes.
+    pub ratio: f64,
+}
+
+/// Reduction ratio of a GeMV `rows × cols` under INT8: the weight matrix
+/// (plus input vector) enters the operator, a `rows`-long vector leaves.
+pub fn gemv_reduction_ratio(rows: usize, cols: usize) -> f64 {
+    (rows as f64 * cols as f64 + cols as f64) / rows as f64
+}
+
+/// The smallest (worst-case) GeMV reduction ratio in `model`'s decode
+/// stream — the paper quotes 4096 for Llama2-7B's smallest matrix.
+pub fn min_decode_reduction_ratio(model: &ModelSpec) -> f64 {
+    let step = decode_step(model, Quant::W8A8, 1);
+    step.ops
+        .iter()
+        .filter_map(|op| match op {
+            DecodeOp::WeightGemv { rows, cols, .. } => {
+                Some(gemv_reduction_ratio(*rows, *cols))
+            }
+            _ => None,
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Literature-estimate reduction ratios of prior ISC scenarios
+/// (Figure 1(b) context): these operators emit output comparable in size
+/// to their input, which is why their designs tolerate low channel
+/// bandwidth out of the die.
+pub fn reference_reduction_ratios() -> Vec<ReductionPoint> {
+    vec![
+        ReductionPoint {
+            name: "OptimStore (DNN optimizer)".into(),
+            ratio: 3.0, // reads weight+grad+state, writes weight+state
+        },
+        ReductionPoint {
+            name: "BeaconGNN (GNN gather)".into(),
+            ratio: 12.0,
+        },
+        ReductionPoint {
+            name: "Smart-SSD query filter".into(),
+            ratio: 40.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn decode_intensity_about_two() {
+        for m in zoo::all() {
+            let i = decode_intensity(&m, Quant::W8A8, 128);
+            assert!((1.5..2.5).contains(&i), "{}: {i}", m.name);
+        }
+    }
+
+    #[test]
+    fn prefill_intensity_much_higher() {
+        let m = zoo::opt_6_7b();
+        let d = decode_intensity(&m, Quant::W8A8, 512);
+        let p = prefill_intensity(&m, Quant::W8A8, 512);
+        assert!(p > 100.0 * d, "prefill {p} vs decode {d}");
+    }
+
+    #[test]
+    fn decode_is_30x_to_1000x_below_other_workloads() {
+        // Figure 1(a): LLM decode is 30×–100× below DLRM/BERT/VGG.
+        let llm = decode_intensity(&zoo::opt_6_7b(), Quant::W8A8, 128);
+        for w in reference_workloads() {
+            let gap = w.ops_per_byte / llm;
+            assert!(gap >= 25.0, "{}: gap {gap}", w.name);
+        }
+    }
+
+    #[test]
+    fn hardware_over_100x_above_decode() {
+        let llm = decode_intensity(&zoo::opt_6_7b(), Quant::W8A8, 128);
+        for hw in reference_hardware() {
+            assert!(hw.ops_per_byte / llm > 50.0, "{}", hw.name);
+        }
+    }
+
+    #[test]
+    fn paper_reduction_ratio_4096() {
+        // Paper: "the result vector is reduced in size by a factor of
+        // 4096 compared to the original weight matrices" (Llama2-7B,
+        // smallest matrix 4096×4096).
+        let r = min_decode_reduction_ratio(&zoo::llama2_7b());
+        assert!((r - 4097.0).abs() < 2.0, "{r}");
+    }
+
+    #[test]
+    fn llm_reduction_100x_above_isc_scenarios() {
+        let llm = min_decode_reduction_ratio(&zoo::llama2_7b());
+        for p in reference_reduction_ratios() {
+            assert!(llm / p.ratio >= 100.0, "{}: {}", p.name, llm / p.ratio);
+        }
+    }
+
+    #[test]
+    fn gemv_reduction_formula() {
+        let r = gemv_reduction_ratio(4096, 4096);
+        assert!((r - 4097.0).abs() < 1e-9);
+    }
+}

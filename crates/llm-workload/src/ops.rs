@@ -1,0 +1,384 @@
+//! Decode-phase operation streams.
+//!
+//! §IV-A of the paper maps every LLM operation onto one of three hardware
+//! groups (Figure 5):
+//!
+//! 1. **NPU + flash co-computation** — every GeMV whose operand is a
+//!    *model weight* matrix ([`DecodeOp::WeightGemv`]);
+//! 2. **NPU only** — matrix work against the KV cache
+//!    ([`DecodeOp::KvMatVec`]) and special functions
+//!    ([`DecodeOp::Special`]);
+//! 3. **NPU + DRAM** — KV-cache loads/stores ([`DecodeOp::KvAppend`]
+//!    and the byte counts inside `KvMatVec`).
+//!
+//! [`decode_step`] enumerates the full per-token op stream for a model,
+//! which the system simulator replays against the hardware models.
+
+use crate::quant::Quant;
+use crate::spec::{Family, ModelSpec};
+
+/// Special-function kinds executed by the NPU's SFU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialKind {
+    /// Row softmax over attention scores.
+    Softmax,
+    /// ReLU (OPT FFN).
+    Relu,
+    /// SiLU + elementwise gate multiply (Llama SwiGLU).
+    Silu,
+    /// Rotary position embedding applied to Q and K (Llama).
+    Rope,
+    /// LayerNorm / RMSNorm.
+    Norm,
+}
+
+/// One operation of a decode step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOp {
+    /// `y = W x` against a weight matrix resident in flash.
+    /// `rows × cols` is the matrix shape; executed cooperatively by the
+    /// flash compute cores and the NPU (hardware-aware tiling).
+    WeightGemv {
+        /// Static label for reporting ("Wq", "W2", "lm_head", ...).
+        label: &'static str,
+        /// Output length.
+        rows: usize,
+        /// Input length.
+        cols: usize,
+    },
+    /// Matrix-vector work against the KV cache (attention scores `q·Kᵀ`
+    /// and context `S·V`), executed on the NPU with operands streamed
+    /// from DRAM.
+    KvMatVec {
+        /// Static label ("scores", "context").
+        label: &'static str,
+        /// Bytes read from DRAM (the K or V cache slice).
+        dram_bytes: u64,
+        /// Multiply-accumulate operation count (2 ops per MAC).
+        ops: u64,
+    },
+    /// Special function on the SFU over `elems` elements.
+    Special {
+        /// Function kind.
+        kind: SpecialKind,
+        /// Number of elements processed.
+        elems: u64,
+    },
+    /// Appending this token's K and V vectors to the cache in DRAM.
+    KvAppend {
+        /// Bytes written to DRAM.
+        bytes: u64,
+    },
+}
+
+impl DecodeOp {
+    /// Weight bytes this op streams (only `WeightGemv` moves weights).
+    pub fn weight_bytes(&self, quant: Quant) -> u64 {
+        match self {
+            DecodeOp::WeightGemv { rows, cols, .. } => {
+                quant.weight_bytes(*rows as u64 * *cols as u64)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Arithmetic operations (1 MAC = 2 ops) this op performs.
+    pub fn ops(&self) -> u64 {
+        match self {
+            DecodeOp::WeightGemv { rows, cols, .. } => 2 * *rows as u64 * *cols as u64,
+            DecodeOp::KvMatVec { ops, .. } => *ops,
+            DecodeOp::Special { elems, .. } => *elems * 4, // exp/div etc. ≈ 4 ops/elem
+            DecodeOp::KvAppend { .. } => 0,
+        }
+    }
+
+    /// DRAM traffic (bytes) this op generates.
+    pub fn dram_bytes(&self) -> u64 {
+        match self {
+            DecodeOp::KvMatVec { dram_bytes, .. } => *dram_bytes,
+            DecodeOp::KvAppend { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// The complete op stream of one decode step (one generated token).
+#[derive(Debug, Clone)]
+pub struct DecodeStep {
+    /// Model this stream was generated for.
+    pub model: ModelSpec,
+    /// Quantization scheme.
+    pub quant: Quant,
+    /// Sequence position (number of tokens already in the KV cache).
+    pub seq_len: usize,
+    /// Ops in execution order.
+    pub ops: Vec<DecodeOp>,
+}
+
+impl DecodeStep {
+    /// Total weight bytes streamed per token.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.weight_bytes(self.quant)).sum()
+    }
+
+    /// Total arithmetic operations per token.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(DecodeOp::ops).sum()
+    }
+
+    /// Total DRAM traffic per token.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.ops.iter().map(DecodeOp::dram_bytes).sum()
+    }
+
+    /// The distinct weight-GeMV shapes and how many times each occurs —
+    /// layers repeat identical shapes, so simulating one instance of each
+    /// shape and scaling is exact for steady-state timing.
+    pub fn gemv_shape_census(&self) -> Vec<(usize, usize, usize)> {
+        let mut census: Vec<(usize, usize, usize)> = Vec::new();
+        for op in &self.ops {
+            if let DecodeOp::WeightGemv { rows, cols, .. } = op {
+                match census.iter_mut().find(|(r, c, _)| r == rows && c == cols) {
+                    Some((_, _, n)) => *n += 1,
+                    None => census.push((*rows, *cols, 1)),
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Enumerates the op stream for generating one token at position
+/// `seq_len` (so the KV cache currently holds `seq_len` entries).
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ModelSpec::validate`].
+pub fn decode_step(model: &ModelSpec, quant: Quant, seq_len: usize) -> DecodeStep {
+    model.validate().expect("invalid model spec");
+    let h = model.hidden as u64;
+    let kv_dim = model.kv_dim() as u64;
+    let heads = model.heads as u64;
+    let head_dim = model.head_dim() as u64;
+    let s = seq_len as u64 + 1; // including the current token
+    let kvb = quant.kv_bytes_per_elem();
+
+    let mut ops = Vec::new();
+    for _layer in 0..model.layers {
+        ops.push(DecodeOp::Special {
+            kind: SpecialKind::Norm,
+            elems: h,
+        });
+        // QKV projections (weights in flash).
+        ops.push(DecodeOp::WeightGemv {
+            label: "Wq",
+            rows: model.hidden,
+            cols: model.hidden,
+        });
+        ops.push(DecodeOp::WeightGemv {
+            label: "Wk",
+            rows: model.kv_dim(),
+            cols: model.hidden,
+        });
+        ops.push(DecodeOp::WeightGemv {
+            label: "Wv",
+            rows: model.kv_dim(),
+            cols: model.hidden,
+        });
+        if model.family == Family::Llama2 {
+            ops.push(DecodeOp::Special {
+                kind: SpecialKind::Rope,
+                elems: h + kv_dim,
+            });
+        }
+        // Append K,V of the current token to DRAM.
+        ops.push(DecodeOp::KvAppend {
+            bytes: 2 * kv_dim * kvb,
+        });
+        // Attention scores: per head, q·Kᵀ over s positions.
+        // DRAM reads the K cache (s × kv_dim); each K element feeds
+        // heads/kv_heads score MACs under GQA.
+        ops.push(DecodeOp::KvMatVec {
+            label: "scores",
+            dram_bytes: s * kv_dim * kvb,
+            ops: 2 * heads * s * head_dim,
+        });
+        ops.push(DecodeOp::Special {
+            kind: SpecialKind::Softmax,
+            elems: heads * s,
+        });
+        // Context: S·V, reading the V cache.
+        ops.push(DecodeOp::KvMatVec {
+            label: "context",
+            dram_bytes: s * kv_dim * kvb,
+            ops: 2 * heads * s * head_dim,
+        });
+        // Output projection.
+        ops.push(DecodeOp::WeightGemv {
+            label: "Wo",
+            rows: model.hidden,
+            cols: model.hidden,
+        });
+        ops.push(DecodeOp::Special {
+            kind: SpecialKind::Norm,
+            elems: h,
+        });
+        // FFN.
+        match model.family {
+            Family::Opt => {
+                ops.push(DecodeOp::WeightGemv {
+                    label: "W1",
+                    rows: model.ffn,
+                    cols: model.hidden,
+                });
+                ops.push(DecodeOp::Special {
+                    kind: SpecialKind::Relu,
+                    elems: model.ffn as u64,
+                });
+                ops.push(DecodeOp::WeightGemv {
+                    label: "W2",
+                    rows: model.hidden,
+                    cols: model.ffn,
+                });
+            }
+            Family::Llama2 => {
+                ops.push(DecodeOp::WeightGemv {
+                    label: "Wgate",
+                    rows: model.ffn,
+                    cols: model.hidden,
+                });
+                ops.push(DecodeOp::WeightGemv {
+                    label: "Wup",
+                    rows: model.ffn,
+                    cols: model.hidden,
+                });
+                ops.push(DecodeOp::Special {
+                    kind: SpecialKind::Silu,
+                    elems: 2 * model.ffn as u64,
+                });
+                ops.push(DecodeOp::WeightGemv {
+                    label: "Wdown",
+                    rows: model.hidden,
+                    cols: model.ffn,
+                });
+            }
+        }
+    }
+    // Final norm + LM head over the vocabulary.
+    ops.push(DecodeOp::Special {
+        kind: SpecialKind::Norm,
+        elems: h,
+    });
+    ops.push(DecodeOp::WeightGemv {
+        label: "lm_head",
+        rows: model.vocab,
+        cols: model.hidden,
+    });
+
+    DecodeStep {
+        model: model.clone(),
+        quant,
+        seq_len,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn weight_bytes_close_to_full_model() {
+        // Per token, every weight is streamed exactly once; the decode
+        // stream's weight traffic should match the model weight footprint
+        // (embedding table excluded — it is an index lookup, not a GeMV —
+        // so allow a few percent slack).
+        let m = zoo::opt_6_7b();
+        let step = decode_step(&m, Quant::W8A8, 512);
+        let streamed = step.total_weight_bytes() as f64;
+        let full = m.weight_bytes(8) as f64;
+        assert!(streamed / full > 0.93 && streamed / full <= 1.0,
+            "streamed {streamed} vs full {full}");
+    }
+
+    #[test]
+    fn ops_per_token_near_paper_claim() {
+        // Paper §II-A: Llama-70B generates a token with ~0.14 Tera ops.
+        let m = zoo::llama2_70b();
+        let step = decode_step(&m, Quant::W8A8, 1000);
+        let tera = step.total_ops() as f64 / 1e12;
+        assert!((0.1..0.2).contains(&tera), "{tera} TOPs");
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_about_two() {
+        // Paper: decode under INT8 has arithmetic intensity ≈ 2.
+        let m = zoo::opt_6_7b();
+        let step = decode_step(&m, Quant::W8A8, 128);
+        let intensity = step.total_ops() as f64
+            / (step.total_weight_bytes() + step.total_dram_bytes()) as f64;
+        assert!((1.8..2.3).contains(&intensity), "{intensity}");
+    }
+
+    #[test]
+    fn dram_traffic_grows_with_seq_len() {
+        let m = zoo::opt_6_7b();
+        let short = decode_step(&m, Quant::W8A8, 10);
+        let long = decode_step(&m, Quant::W8A8, 1000);
+        assert!(long.total_dram_bytes() > 50 * short.total_dram_bytes() / 2);
+        assert_eq!(short.total_weight_bytes(), long.total_weight_bytes());
+    }
+
+    #[test]
+    fn census_covers_all_gemvs() {
+        let m = zoo::llama2_70b();
+        let step = decode_step(&m, Quant::W8A8, 100);
+        let census = step.gemv_shape_census();
+        let total: usize = census.iter().map(|&(_, _, n)| n).sum();
+        let gemvs = step
+            .ops
+            .iter()
+            .filter(|o| matches!(o, DecodeOp::WeightGemv { .. }))
+            .count();
+        assert_eq!(total, gemvs);
+        // 7 matrices/layer, but Wq/Wo, Wk/Wv and Wgate/Wup each share a
+        // shape → 4 distinct per-layer shapes + lm_head.
+        assert_eq!(census.len(), 5);
+    }
+
+    #[test]
+    fn w4_halves_weight_traffic() {
+        let m = zoo::opt_13b();
+        let w8 = decode_step(&m, Quant::W8A8, 64).total_weight_bytes();
+        let w4 = decode_step(&m, Quant::W4A16, 64).total_weight_bytes();
+        assert_eq!(w4 * 2, w8);
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_projections() {
+        let m70 = zoo::llama2_70b();
+        let step = decode_step(&m70, Quant::W8A8, 1);
+        let wk = step
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                DecodeOp::WeightGemv { label: "Wk", rows, .. } => Some(*rows),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(wk, 1024); // 8 kv heads × 128 head dim
+    }
+
+    #[test]
+    fn opt_and_llama_streams_differ_in_ffn() {
+        let o = decode_step(&zoo::opt_6_7b(), Quant::W8A8, 10);
+        let l = decode_step(&zoo::llama2_7b(), Quant::W8A8, 10);
+        let has = |s: &DecodeStep, lbl: &str| {
+            s.ops.iter().any(|op| matches!(op,
+                DecodeOp::WeightGemv { label, .. } if *label == lbl))
+        };
+        assert!(has(&o, "W1") && !has(&o, "Wgate"));
+        assert!(has(&l, "Wgate") && !has(&l, "W1"));
+    }
+}

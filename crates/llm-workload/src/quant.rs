@@ -1,0 +1,103 @@
+//! Quantization schemes.
+//!
+//! The paper's default is W8A8 (SmoothQuant offline INT8); §VIII-B also
+//! evaluates W4A16 (4-bit weights, 16-bit activations). Quantization in
+//! this reproduction is purely a *byte-accounting* concern for the timing
+//! and energy models — numerical fidelity of quantized weights is
+//! exercised separately by `accuracy-lab`.
+
+use std::fmt;
+
+/// Weight/activation quantization of an inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Quant {
+    /// 8-bit weights, 8-bit activations (paper default, via SmoothQuant).
+    #[default]
+    W8A8,
+    /// 4-bit weights, 16-bit activations (paper §VIII-B).
+    W4A16,
+    /// 4-bit weights, 8-bit activations (extension: the paper argues its
+    /// architecture benefits proportionally from more aggressive schemes).
+    W4A8,
+}
+
+impl Quant {
+    /// Weight width in bits.
+    pub const fn weight_bits(self) -> u32 {
+        match self {
+            Quant::W8A8 => 8,
+            Quant::W4A16 | Quant::W4A8 => 4,
+        }
+    }
+
+    /// Activation width in bits.
+    pub const fn act_bits(self) -> u32 {
+        match self {
+            Quant::W8A8 | Quant::W4A8 => 8,
+            Quant::W4A16 => 16,
+        }
+    }
+
+    /// Bytes occupied by `params` weights.
+    pub const fn weight_bytes(self, params: u64) -> u64 {
+        params * self.weight_bits() as u64 / 8
+    }
+
+    /// Bytes occupied by `elems` activations.
+    pub const fn act_bytes(self, elems: u64) -> u64 {
+        elems * self.act_bits() as u64 / 8
+    }
+
+    /// Bytes per KV-cache element. KV entries are stored at activation
+    /// precision (they are activations).
+    pub const fn kv_bytes_per_elem(self) -> u64 {
+        self.act_bits() as u64 / 8
+    }
+
+    /// All schemes, for sweeps.
+    pub const fn all() -> [Quant; 3] {
+        [Quant::W8A8, Quant::W4A16, Quant::W4A8]
+    }
+}
+
+impl fmt::Display for Quant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quant::W8A8 => write!(f, "W8A8"),
+            Quant::W4A16 => write!(f, "W4A16"),
+            Quant::W4A8 => write!(f, "W4A8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(Quant::W8A8.weight_bytes(1000), 1000);
+        assert_eq!(Quant::W4A16.weight_bytes(1000), 500);
+        assert_eq!(Quant::W8A8.act_bytes(1000), 1000);
+        assert_eq!(Quant::W4A16.act_bytes(1000), 2000);
+        assert_eq!(Quant::W4A8.weight_bytes(1000), 500);
+        assert_eq!(Quant::W4A8.act_bytes(1000), 1000);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(Quant::default(), Quant::W8A8);
+    }
+
+    #[test]
+    fn kv_precision_follows_activations() {
+        assert_eq!(Quant::W8A8.kv_bytes_per_elem(), 1);
+        assert_eq!(Quant::W4A16.kv_bytes_per_elem(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Quant::W8A8.to_string(), "W8A8");
+        assert_eq!(Quant::W4A16.to_string(), "W4A16");
+    }
+}

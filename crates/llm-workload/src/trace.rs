@@ -1,0 +1,135 @@
+//! Whole-generation traces.
+//!
+//! A [`GenerationTrace`] lazily yields the per-token op streams of a
+//! complete interaction (prompt prefill position + autoregressive
+//! reply), letting consumers replay realistic multi-token workloads —
+//! the KV cache grows every step, so later tokens are slightly more
+//! expensive than earlier ones.
+
+use crate::ops::{decode_step, DecodeStep};
+use crate::quant::Quant;
+use crate::spec::ModelSpec;
+
+/// A lazily-evaluated generation: `reply_tokens` decode steps starting
+/// after a `prompt_tokens`-long prefix.
+#[derive(Debug, Clone)]
+pub struct GenerationTrace {
+    model: ModelSpec,
+    quant: Quant,
+    prompt_tokens: usize,
+    reply_tokens: usize,
+}
+
+impl GenerationTrace {
+    /// Creates a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is invalid or the total length exceeds the
+    /// model's maximum sequence length.
+    pub fn new(
+        model: ModelSpec,
+        quant: Quant,
+        prompt_tokens: usize,
+        reply_tokens: usize,
+    ) -> Self {
+        model.validate().expect("invalid model");
+        assert!(
+            prompt_tokens + reply_tokens <= model.max_seq,
+            "{} + {} tokens exceed max_seq {}",
+            prompt_tokens,
+            reply_tokens,
+            model.max_seq
+        );
+        GenerationTrace {
+            model,
+            quant,
+            prompt_tokens,
+            reply_tokens,
+        }
+    }
+
+    /// Number of decode steps in the trace.
+    pub fn len(&self) -> usize {
+        self.reply_tokens
+    }
+
+    /// Whether the reply is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reply_tokens == 0
+    }
+
+    /// Iterates over the decode steps in generation order.
+    pub fn steps(&self) -> impl Iterator<Item = DecodeStep> + '_ {
+        (0..self.reply_tokens)
+            .map(move |i| decode_step(&self.model, self.quant, self.prompt_tokens + i))
+    }
+
+    /// Aggregate statistics of the whole reply.
+    pub fn totals(&self) -> TraceTotals {
+        let mut t = TraceTotals::default();
+        for step in self.steps() {
+            t.weight_bytes += step.total_weight_bytes();
+            t.dram_bytes += step.total_dram_bytes();
+            t.ops += step.total_ops();
+            t.tokens += 1;
+        }
+        t
+    }
+}
+
+/// Aggregate traffic/compute of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Weight bytes streamed (weights re-stream every token).
+    pub weight_bytes: u64,
+    /// DRAM traffic (KV reads/writes).
+    pub dram_bytes: u64,
+    /// Arithmetic operations.
+    pub ops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn trace_yields_reply_len_steps() {
+        let t = GenerationTrace::new(zoo::opt_6_7b(), Quant::W8A8, 100, 16);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.steps().count(), 16);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn kv_cost_grows_across_steps() {
+        let t = GenerationTrace::new(zoo::opt_6_7b(), Quant::W8A8, 10, 8);
+        let dram: Vec<u64> = t.steps().map(|s| s.total_dram_bytes()).collect();
+        for w in dram.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn totals_match_manual_sum() {
+        let t = GenerationTrace::new(zoo::llama2_7b(), Quant::W8A8, 50, 5);
+        let totals = t.totals();
+        assert_eq!(totals.tokens, 5);
+        let manual: u64 = t.steps().map(|s| s.total_weight_bytes()).sum();
+        assert_eq!(totals.weight_bytes, manual);
+        // Weights re-stream every token.
+        assert_eq!(
+            totals.weight_bytes,
+            5 * decode_step(&zoo::llama2_7b(), Quant::W8A8, 50).total_weight_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed max_seq")]
+    fn overlong_generation_panics() {
+        GenerationTrace::new(zoo::opt_6_7b(), Quant::W8A8, 2000, 100);
+    }
+}

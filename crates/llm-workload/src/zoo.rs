@@ -1,0 +1,198 @@
+//! The model zoo: every model the paper evaluates.
+//!
+//! Architecture numbers are the published configurations of the OPT
+//! (Zhang et al., 2022) and Llama-2 (Touvron et al., 2023) releases.
+
+use crate::spec::{Family, ModelSpec};
+
+/// OPT-6.7B: 32 layers × 4096 hidden.
+pub fn opt_6_7b() -> ModelSpec {
+    ModelSpec {
+        name: "OPT-6.7B",
+        family: Family::Opt,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 32,
+        ffn: 16384,
+        vocab: 50272,
+        max_seq: 2048,
+    }
+}
+
+/// OPT-13B: 40 layers × 5120 hidden.
+pub fn opt_13b() -> ModelSpec {
+    ModelSpec {
+        name: "OPT-13B",
+        family: Family::Opt,
+        layers: 40,
+        hidden: 5120,
+        heads: 40,
+        kv_heads: 40,
+        ffn: 20480,
+        vocab: 50272,
+        max_seq: 2048,
+    }
+}
+
+/// OPT-30B: 48 layers × 7168 hidden.
+pub fn opt_30b() -> ModelSpec {
+    ModelSpec {
+        name: "OPT-30B",
+        family: Family::Opt,
+        layers: 48,
+        hidden: 7168,
+        heads: 56,
+        kv_heads: 56,
+        ffn: 28672,
+        vocab: 50272,
+        max_seq: 2048,
+    }
+}
+
+/// OPT-66B: 64 layers × 9216 hidden.
+pub fn opt_66b() -> ModelSpec {
+    ModelSpec {
+        name: "OPT-66B",
+        family: Family::Opt,
+        layers: 64,
+        hidden: 9216,
+        heads: 72,
+        kv_heads: 72,
+        ffn: 36864,
+        vocab: 50272,
+        max_seq: 2048,
+    }
+}
+
+/// Llama2-7B: 32 layers × 4096 hidden, SwiGLU FFN 11008.
+pub fn llama2_7b() -> ModelSpec {
+    ModelSpec {
+        name: "Llama2-7B",
+        family: Family::Llama2,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 32,
+        ffn: 11008,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// Llama2-13B: 40 layers × 5120 hidden, SwiGLU FFN 13824.
+pub fn llama2_13b() -> ModelSpec {
+    ModelSpec {
+        name: "Llama2-13B",
+        family: Family::Llama2,
+        layers: 40,
+        hidden: 5120,
+        heads: 40,
+        kv_heads: 40,
+        ffn: 13824,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// Llama2-70B: 80 layers × 8192 hidden, GQA with 8 KV heads, FFN 28672.
+pub fn llama2_70b() -> ModelSpec {
+    ModelSpec {
+        name: "Llama2-70B",
+        family: Family::Llama2,
+        layers: 80,
+        hidden: 8192,
+        heads: 64,
+        kv_heads: 8,
+        ffn: 28672,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// Every model in the zoo, in the order the paper's figures list them.
+pub fn all() -> Vec<ModelSpec> {
+    vec![
+        opt_6_7b(),
+        opt_13b(),
+        opt_30b(),
+        opt_66b(),
+        llama2_7b(),
+        llama2_13b(),
+        llama2_70b(),
+    ]
+}
+
+/// The OPT models (Figure 9(a), 12–16 x-axes).
+pub fn opt_family() -> Vec<ModelSpec> {
+    vec![opt_6_7b(), opt_13b(), opt_30b(), opt_66b()]
+}
+
+/// The Llama-2 models (Figure 9(b)).
+pub fn llama_family() -> Vec<ModelSpec> {
+    vec![llama2_7b(), llama2_13b(), llama2_70b()]
+}
+
+/// Looks a model up by its display name (case-insensitive).
+///
+/// # Examples
+///
+/// ```
+/// use llm_workload::zoo;
+/// assert_eq!(zoo::by_name("opt-6.7b").unwrap().layers, 32);
+/// assert!(zoo::by_name("gpt-5").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    all().into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_seven_models() {
+        assert_eq!(all().len(), 7);
+        assert_eq!(opt_family().len(), 4);
+        assert_eq!(llama_family().len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|m| m.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("LLAMA2-70B").is_some());
+        assert!(by_name("Llama2-70b").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn gqa_only_on_70b() {
+        for m in all() {
+            if m.name == "Llama2-70B" {
+                assert!(m.kv_heads < m.heads);
+            } else {
+                assert_eq!(m.kv_heads, m.heads);
+            }
+        }
+    }
+
+    #[test]
+    fn param_counts_ascend_within_families() {
+        let opt = opt_family();
+        for w in opt.windows(2) {
+            assert!(w[0].param_count() < w[1].param_count());
+        }
+        let llama = llama_family();
+        for w in llama.windows(2) {
+            assert!(w[0].param_count() < w[1].param_count());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for workload generation.
+
+use llm_workload::{decode_step, kv, zoo, DecodeOp, Quant};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = llm_workload::ModelSpec> {
+    prop_oneof![
+        Just(zoo::opt_6_7b()),
+        Just(zoo::opt_13b()),
+        Just(zoo::opt_30b()),
+        Just(zoo::opt_66b()),
+        Just(zoo::llama2_7b()),
+        Just(zoo::llama2_13b()),
+        Just(zoo::llama2_70b()),
+    ]
+}
+
+fn arb_quant() -> impl Strategy<Value = Quant> {
+    prop_oneof![Just(Quant::W8A8), Just(Quant::W4A16), Just(Quant::W4A8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weight traffic per token is independent of sequence position and
+    /// equals the layer weights + LM head under the active quantization.
+    #[test]
+    fn weight_traffic_invariant(model in arb_model(), quant in arb_quant(), seq in 0usize..3000) {
+        let step = decode_step(&model, quant, seq);
+        let expect = quant.weight_bytes(
+            model.layer_params() * model.layers as u64
+                + model.vocab as u64 * model.hidden as u64,
+        );
+        prop_assert_eq!(step.total_weight_bytes(), expect);
+    }
+
+    /// Op counts are quantization-independent (same maths, fewer bytes).
+    #[test]
+    fn ops_independent_of_quant(model in arb_model(), seq in 0usize..2000) {
+        let a = decode_step(&model, Quant::W8A8, seq).total_ops();
+        let b = decode_step(&model, Quant::W4A16, seq).total_ops();
+        prop_assert_eq!(a, b);
+    }
+
+    /// DRAM traffic is affine in sequence length: KV reads grow, the
+    /// fixed append cost stays.
+    #[test]
+    fn dram_traffic_affine(model in arb_model(), seq in 1usize..2000) {
+        let d0 = decode_step(&model, Quant::W8A8, seq).total_dram_bytes();
+        let d1 = decode_step(&model, Quant::W8A8, seq + 1).total_dram_bytes();
+        let d2 = decode_step(&model, Quant::W8A8, seq + 2).total_dram_bytes();
+        prop_assert_eq!(d1 - d0, d2 - d1);
+        prop_assert!(d1 > d0);
+    }
+
+    /// The census exactly partitions the GeMV ops.
+    #[test]
+    fn census_partitions_gemvs(model in arb_model(), seq in 0usize..500) {
+        let step = decode_step(&model, Quant::W8A8, seq);
+        let census = step.gemv_shape_census();
+        let census_params: u64 = census
+            .iter()
+            .map(|&(r, c, n)| r as u64 * c as u64 * n as u64)
+            .sum();
+        let op_params: u64 = step
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                DecodeOp::WeightGemv { rows, cols, .. } =>
+                    Some(*rows as u64 * *cols as u64),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(census_params, op_params);
+    }
+
+    /// KV cache accounting matches the decode stream's append ops.
+    #[test]
+    fn kv_append_matches_cache_growth(model in arb_model(), quant in arb_quant()) {
+        let step = decode_step(&model, quant, 10);
+        let appended: u64 = step
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                DecodeOp::KvAppend { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(appended, kv::kv_bytes_per_token(&model, quant));
+    }
+
+    /// Decode intensity stays near 2 for W8A8 across the whole zoo and
+    /// all context lengths (the paper's central premise).
+    #[test]
+    fn intensity_near_two(model in arb_model(), seq in 1usize..3000) {
+        let step = decode_step(&model, Quant::W8A8, seq);
+        let i = step.total_ops() as f64
+            / (step.total_weight_bytes() + step.total_dram_bytes()) as f64;
+        prop_assert!((1.4..2.6).contains(&i), "{}: {i}", model.name);
+    }
+}

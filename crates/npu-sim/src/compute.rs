@@ -1,0 +1,111 @@
+//! NPU execution-time models.
+//!
+//! The NPU's decode-phase work is overwhelmingly bandwidth-bound (the
+//! paper's whole premise), so the timing model for each operation is
+//! `max(compute-bound time, data-bound time)` — the roofline — plus a
+//! small launch overhead for SFU ops. These models are driven by the
+//! same `SimTime` clock as the flash engine.
+
+use crate::config::NpuConfig;
+use sim_core::{transfer_time, SimTime};
+
+/// Timing model for the NPU's PEs, SFU and DRAM interface.
+#[derive(Debug, Clone, Copy)]
+pub struct NpuModel {
+    cfg: NpuConfig,
+}
+
+impl NpuModel {
+    /// Creates a model from a configuration.
+    pub fn new(cfg: NpuConfig) -> Self {
+        NpuModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NpuConfig {
+        &self.cfg
+    }
+
+    /// Time for the systolic array to execute `ops` arithmetic
+    /// operations on data that is already on-chip.
+    pub fn compute_time(&self, ops: u64) -> SimTime {
+        transfer_time(ops, self.cfg.peak_ops_per_sec())
+    }
+
+    /// Time for a GeMV whose weights arrive over a link of
+    /// `stream_bytes_per_sec`: the maximum of compute and stream time
+    /// (the array consumes weights as they arrive).
+    pub fn streamed_gemv_time(&self, ops: u64, weight_bytes: u64, stream_bytes_per_sec: u64) -> SimTime {
+        self.compute_time(ops)
+            .max(transfer_time(weight_bytes, stream_bytes_per_sec))
+    }
+
+    /// Time for KV-cache matrix-vector work: `ops` arithmetic against
+    /// `dram_bytes` streamed from DRAM (attention scores / context).
+    pub fn kv_op_time(&self, ops: u64, dram_bytes: u64) -> SimTime {
+        self.compute_time(ops)
+            .max(transfer_time(dram_bytes, self.cfg.dram_bytes_per_sec))
+    }
+
+    /// Time to write `bytes` to DRAM (KV append).
+    pub fn dram_write_time(&self, bytes: u64) -> SimTime {
+        transfer_time(bytes, self.cfg.dram_bytes_per_sec)
+    }
+
+    /// Time for the SFU to process `elems` elements (softmax, ReLU,
+    /// SiLU, RoPE, norms).
+    pub fn sfu_time(&self, elems: u64) -> SimTime {
+        SimTime::from_secs_f64(self.cfg.sfu_launch_s)
+            + transfer_time(elems, self.cfg.sfu_elems_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NpuModel {
+        NpuModel::new(NpuConfig::paper())
+    }
+
+    #[test]
+    fn compute_time_matches_peak() {
+        // 2.048e12 ops/s → 2.048e9 ops in 1 ms.
+        let t = model().compute_time(2_048_000_000);
+        assert_eq!(t.as_micros(), 1000);
+    }
+
+    #[test]
+    fn streamed_gemv_is_bandwidth_bound_at_decode() {
+        // A 4096×4096 INT8 GeMV streamed at 1 GB/s: 16.7M bytes at
+        // 1 GB/s = 16.7 ms stream vs 16 µs compute → stream dominates.
+        let m = model();
+        let ops = 2 * 4096 * 4096u64;
+        let bytes = 4096 * 4096u64;
+        let t = m.streamed_gemv_time(ops, bytes, 1_000_000_000);
+        assert_eq!(t, transfer_time(bytes, 1_000_000_000));
+        assert!(m.compute_time(ops) < t);
+    }
+
+    #[test]
+    fn kv_op_bound_by_dram() {
+        // Scores at seq=1000 for OPT-6.7B: 4 MB from DRAM, 8.4 M ops.
+        let m = model();
+        let t = m.kv_op_time(8_400_000, 4_100_000);
+        assert_eq!(t, transfer_time(4_100_000, 40_000_000_000));
+    }
+
+    #[test]
+    fn sfu_includes_launch_overhead() {
+        let m = model();
+        let t0 = m.sfu_time(0);
+        assert!(t0 >= SimTime::from_nanos(500));
+        assert!(m.sfu_time(1_000_000) > t0);
+    }
+
+    #[test]
+    fn dram_write_time_scales() {
+        let m = model();
+        assert_eq!(m.dram_write_time(40_000_000_000).as_micros(), 1_000_000);
+    }
+}

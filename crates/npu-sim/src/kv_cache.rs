@@ -1,0 +1,162 @@
+//! KV-cache residency management in NPU-attached DRAM.
+//!
+//! The paper allocates DRAM exclusively to the KV cache ("a capacity of
+//! 700MB suffices for the needs of a 70B LLM under single batch
+//! inference"). This module tracks cache growth across generated tokens
+//! and enforces the capacity limit.
+
+use crate::config::NpuConfig;
+
+/// Error returned when the KV cache would exceed DRAM capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvCapacityError {
+    /// Bytes the cache would need.
+    pub needed: u64,
+    /// Bytes available.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for KvCapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kv cache needs {} bytes but dram capacity is {} bytes",
+            self.needed, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for KvCapacityError {}
+
+/// A growing KV cache in DRAM.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    bytes_per_token: u64,
+    capacity: u64,
+    tokens: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache for a model writing `bytes_per_token` per
+    /// generated token, bounded by the NPU's DRAM KV allocation.
+    pub fn new(bytes_per_token: u64, cfg: &NpuConfig) -> Self {
+        KvCache {
+            bytes_per_token,
+            capacity: cfg.dram_kv_bytes,
+            tokens: 0,
+        }
+    }
+
+    /// Appends one token's K/V vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCapacityError`] if DRAM is full; the caller decides
+    /// whether that is fatal (it is an out-of-memory condition for the
+    /// baselines in Figure 9(b)).
+    pub fn append(&mut self) -> Result<(), KvCapacityError> {
+        let needed = (self.tokens as u64 + 1) * self.bytes_per_token;
+        if needed > self.capacity {
+            return Err(KvCapacityError {
+                needed,
+                capacity: self.capacity,
+            });
+        }
+        self.tokens += 1;
+        Ok(())
+    }
+
+    /// Pre-populates the cache with `tokens` prompt tokens (prefill).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCapacityError`] if the prompt alone exceeds DRAM.
+    pub fn prefill(&mut self, tokens: usize) -> Result<(), KvCapacityError> {
+        let needed = (self.tokens + tokens) as u64 * self.bytes_per_token;
+        if needed > self.capacity {
+            return Err(KvCapacityError {
+                needed,
+                capacity: self.capacity,
+            });
+        }
+        self.tokens += tokens;
+        Ok(())
+    }
+
+    /// Tokens currently cached.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Bytes currently occupied.
+    pub fn bytes(&self) -> u64 {
+        self.tokens as u64 * self.bytes_per_token
+    }
+
+    /// Occupancy fraction of the DRAM KV allocation.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.bytes() as f64 / self.capacity as f64
+    }
+
+    /// Maximum context length that fits.
+    pub fn max_tokens(&self) -> usize {
+        if self.bytes_per_token == 0 {
+            return usize::MAX;
+        }
+        (self.capacity / self.bytes_per_token) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(bpt: u64) -> KvCache {
+        KvCache::new(bpt, &NpuConfig::paper())
+    }
+
+    #[test]
+    fn grows_by_append() {
+        let mut c = cache(1000);
+        c.append().unwrap();
+        c.append().unwrap();
+        assert_eq!(c.tokens(), 2);
+        assert_eq!(c.bytes(), 2000);
+    }
+
+    #[test]
+    fn seventy_b_context_fits_in_2gb() {
+        // Llama2-70B W8A8: 2 × 80 × 1024 B/token = 163840 B/token.
+        let c = cache(163_840);
+        assert!(c.max_tokens() >= 4096, "{}", c.max_tokens());
+    }
+
+    #[test]
+    fn capacity_error_reports_sizes() {
+        let mut c = cache(1_500_000_000);
+        c.append().unwrap();
+        let err = c.append().unwrap_err();
+        assert_eq!(err.needed, 3_000_000_000);
+        assert_eq!(err.capacity, 2_000_000_000);
+        assert!(err.to_string().contains("kv cache"));
+        assert_eq!(c.tokens(), 1); // failed append does not grow
+    }
+
+    #[test]
+    fn prefill_bulk_loads() {
+        let mut c = cache(1000);
+        c.prefill(500).unwrap();
+        assert_eq!(c.tokens(), 500);
+        assert!(c.prefill(usize::MAX / 2000).is_err());
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let mut c = cache(200_000_000);
+        c.append().unwrap();
+        assert!((c.occupancy() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # npu-sim — edge NPU timing model
+//!
+//! Models the Cambricon-LLM NPU of paper §IV-A/§VII-A: a 16×16 systolic
+//! array (2 TOPS INT8 @ 1 GHz), a Special Function Unit for
+//! softmax/activations/RoPE, an LPDDR5X DRAM interface (~40 GB/s)
+//! dedicated to the KV cache, and the integrated flash controller that
+//! lets the NPU consume weight pages directly from the flash chiplet.
+//!
+//! Decode-phase NPU work is bandwidth-dominated, so each operation's
+//! time is the roofline `max(compute, data movement)`.
+//!
+//! ## Example
+//!
+//! ```
+//! use npu_sim::{NpuConfig, NpuModel};
+//!
+//! let npu = NpuModel::new(NpuConfig::paper());
+//! // A 4096×4096 INT8 GeMV streamed from flash at 8 GB/s aggregate:
+//! let t = npu.streamed_gemv_time(2 * 4096 * 4096, 4096 * 4096, 8_000_000_000);
+//! // 16.7 MB / 8 GB/s ≈ 2.1 ms — bandwidth-bound, as the paper argues.
+//! assert!(t.as_micros() > 2000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compute;
+pub mod config;
+pub mod kv_cache;
+pub mod systolic;
+
+pub use compute::NpuModel;
+pub use config::NpuConfig;
+pub use kv_cache::{KvCache, KvCapacityError};
+pub use systolic::{gemm_time, gemv_systolic_time, GemmReport};

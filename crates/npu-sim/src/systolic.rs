@@ -1,0 +1,116 @@
+//! Systolic-array GeMM timing (used by the prefill phase).
+//!
+//! Decode-phase GeMV is bandwidth-bound, so `NpuModel` treats the array
+//! as a peak-rate black box. Prefill runs real GeMMs (`M×K · K×N`), and
+//! there the array's *mapping efficiency* matters: a 16×16
+//! weight-stationary array processes output tiles of 16×16, each taking
+//! `K + fill` cycles, and ragged edges waste lanes. This module models
+//! that, giving the prefill estimates honest sub-peak throughput.
+
+use crate::config::NpuConfig;
+use sim_core::SimTime;
+
+/// Timing report for one GeMM on the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall time at the configured clock.
+    pub time: SimTime,
+    /// Achieved fraction of peak MAC utilization.
+    pub utilization: f64,
+}
+
+/// Weight-stationary systolic GeMM: `C[M×N] = A[M×K] × B[K×N]`.
+///
+/// Output is tiled into `rows × cols` blocks; each block streams `K`
+/// operands plus the pipeline fill of `rows + cols` cycles.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn gemm_time(cfg: &NpuConfig, m: u64, k: u64, n: u64) -> GemmReport {
+    assert!(m > 0 && k > 0 && n > 0, "empty GeMM");
+    let r = cfg.array_rows as u64;
+    let c = cfg.array_cols as u64;
+    // Each PE retires `ops_per_pe_cycle / 2` MACs per cycle (the paper's
+    // 2 TOPS at 16×16 @1 GHz implies a quad-pumped INT8 datapath).
+    let pump = (cfg.ops_per_pe_cycle as u64 / 2).max(1);
+    let row_tiles = m.div_ceil(r);
+    let col_tiles = n.div_ceil(c);
+    let fill = r + c;
+    let cycles_per_tile = k.div_ceil(pump) + fill;
+    let cycles = row_tiles * col_tiles * cycles_per_tile;
+    let time = sim_core::transfer_time(cycles, cfg.freq_hz);
+    // Useful MACs vs issued MAC slots.
+    let useful = m as f64 * k as f64 * n as f64;
+    let issued = (row_tiles * r * col_tiles * c * cycles_per_tile * pump) as f64;
+    let utilization = (useful / issued).min(1.0);
+    GemmReport {
+        cycles,
+        time,
+        utilization,
+    }
+}
+
+/// GeMV as the degenerate `N = 1` case — on a systolic array this uses
+/// one column of PEs, which is why decode must not be compute-mapped
+/// this way (the paper's NPU treats decode GeMV as a streaming
+/// reduction instead; see `NpuModel::streamed_gemv_time`).
+pub fn gemv_systolic_time(cfg: &NpuConfig, m: u64, k: u64) -> GemmReport {
+    gemm_time(cfg, m, k, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper()
+    }
+
+    #[test]
+    fn aligned_gemm_is_efficient() {
+        // 1024×1024×1024 on 16×16 quad-pumped: (K/4)/(K/4+32) ≈ 89%.
+        let r = gemm_time(&cfg(), 1024, 1024, 1024);
+        assert!(r.utilization > 0.85, "{}", r.utilization);
+    }
+
+    #[test]
+    fn ragged_edges_waste_lanes() {
+        // 17 rows uses two row-tiles of 16 → ~53% row occupancy.
+        let aligned = gemm_time(&cfg(), 16, 512, 16);
+        let ragged = gemm_time(&cfg(), 17, 512, 17);
+        assert!(ragged.utilization < 0.6 * aligned.utilization);
+    }
+
+    #[test]
+    fn gemv_on_systolic_is_terrible() {
+        // The motivation for streaming decode GeMV instead of mapping
+        // it onto the array: N=1 leaves 15/16 columns idle.
+        let r = gemv_systolic_time(&cfg(), 4096, 4096);
+        assert!(r.utilization < 0.08, "{}", r.utilization);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_k() {
+        let a = gemm_time(&cfg(), 256, 512, 256);
+        let b = gemm_time(&cfg(), 256, 1024, 256);
+        let ratio = b.cycles as f64 / a.cycles as f64;
+        assert!((1.8..2.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn prefill_gemm_of_70b_layer_is_milliseconds() {
+        // 256-token prompt × Wq of Llama2-70B: 256×8192×8192.
+        let r = gemm_time(&cfg(), 256, 8192, 8192);
+        let ms = r.time.as_secs_f64() * 1e3;
+        assert!((5.0..40.0).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty GeMM")]
+    fn zero_dim_panics() {
+        gemm_time(&cfg(), 0, 1, 1);
+    }
+}

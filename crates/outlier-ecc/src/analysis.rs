@@ -1,0 +1,218 @@
+//! Corruption measurement: how badly did flash errors damage a page,
+//! with and without the on-die Error Correction Unit?
+//!
+//! These metrics are the bridge between the bit-level error/ECC
+//! machinery and task accuracy (crate `accuracy-lab`): the paper's
+//! Figures 3(b) and 10 plot accuracy against BER; we measure the weight
+//! corruption the ECC leaves behind and map it to accuracy with a
+//! calibrated surrogate (see `DESIGN.md` §4 for the substitution note).
+
+use crate::codec::{EncodedPage, PageCodec};
+use crate::inject::BitFlipModel;
+
+/// Damage metrics for one decoded page vs. the original.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CorruptionReport {
+    /// Elements compared.
+    pub elems: usize,
+    /// Elements whose decoded value differs from the original.
+    pub changed: usize,
+    /// Changed elements that were top-1% outliers in the original.
+    pub outliers_changed: usize,
+    /// Mean |decoded − original| over all elements (INT8 LSBs).
+    pub mean_abs_err: f64,
+    /// Root-mean-square error (INT8 LSBs).
+    pub rms_err: f64,
+    /// Largest single-element |error| (INT8 LSBs).
+    pub max_abs_err: u32,
+}
+
+impl CorruptionReport {
+    /// Fraction of elements changed.
+    pub fn change_rate(&self) -> f64 {
+        if self.elems == 0 {
+            return 0.0;
+        }
+        self.changed as f64 / self.elems as f64
+    }
+
+    /// Magnitude-weighted error rate: RMS error normalized by the INT8
+    /// full scale. This is the scalar `accuracy-lab` maps to task
+    /// accuracy.
+    pub fn severity(&self) -> f64 {
+        self.rms_err / 127.0
+    }
+}
+
+/// Compares decoded weights against the originals.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn measure(original: &[i8], decoded: &[i8], codec: &PageCodec) -> CorruptionReport {
+    assert_eq!(original.len(), decoded.len(), "length mismatch");
+    let n_out = codec.outlier_count();
+    let mut idx: Vec<usize> = (0..original.len()).collect();
+    idx.sort_by_key(|&i| (std::cmp::Reverse(original[i].unsigned_abs()), i));
+    let mut is_outlier = vec![false; original.len()];
+    for &i in &idx[..n_out.min(idx.len())] {
+        is_outlier[i] = true;
+    }
+
+    let mut changed = 0;
+    let mut outliers_changed = 0;
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max_abs = 0u32;
+    for i in 0..original.len() {
+        let e = (original[i] as i32 - decoded[i] as i32).unsigned_abs();
+        if e != 0 {
+            changed += 1;
+            if is_outlier[i] {
+                outliers_changed += 1;
+            }
+        }
+        sum_abs += e as f64;
+        sum_sq += (e as f64) * (e as f64);
+        max_abs = max_abs.max(e);
+    }
+    let n = original.len() as f64;
+    CorruptionReport {
+        elems: original.len(),
+        changed,
+        outliers_changed,
+        mean_abs_err: sum_abs / n,
+        rms_err: (sum_sq / n).sqrt(),
+        max_abs_err: max_abs,
+    }
+}
+
+/// Runs one inject-and-decode trial on a page of weights.
+///
+/// With `with_ecc = false` the page is stored raw (no spare payload) and
+/// read back uncorrected — the Figure 3(b)/10 "Without Err Cor" arm.
+pub fn run_trial(
+    codec: &PageCodec,
+    weights: &[i8],
+    ber: f64,
+    seed: u64,
+    with_ecc: bool,
+) -> CorruptionReport {
+    let mut model = BitFlipModel::new(ber, seed);
+    if with_ecc {
+        let mut page = codec.encode(weights);
+        model.corrupt_page(&mut page);
+        let decoded = codec.decode(&page);
+        measure(weights, &decoded, codec)
+    } else {
+        let mut page = EncodedPage {
+            data: weights.to_vec(),
+            spare: Vec::new(),
+        };
+        model.corrupt_page(&mut page);
+        measure(weights, &page.data, codec)
+    }
+}
+
+/// Averages trials across `pages` independently seeded pages.
+pub fn run_trials(
+    codec: &PageCodec,
+    make_weights: impl Fn(u64) -> Vec<i8>,
+    pages: usize,
+    ber: f64,
+    base_seed: u64,
+    with_ecc: bool,
+) -> CorruptionReport {
+    assert!(pages > 0, "need at least one page");
+    let mut acc = CorruptionReport::default();
+    for p in 0..pages {
+        let weights = make_weights(p as u64);
+        let r = run_trial(codec, &weights, ber, base_seed ^ (p as u64).wrapping_mul(0x9E37), with_ecc);
+        acc.elems += r.elems;
+        acc.changed += r.changed;
+        acc.outliers_changed += r.outliers_changed;
+        acc.mean_abs_err += r.mean_abs_err;
+        acc.rms_err += r.rms_err * r.rms_err; // accumulate variance-like
+        acc.max_abs_err = acc.max_abs_err.max(r.max_abs_err);
+    }
+    acc.mean_abs_err /= pages as f64;
+    acc.rms_err = (acc.rms_err / pages as f64).sqrt();
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SplitMix64;
+
+    fn gaussian_weights(seed: u64, n: usize) -> Vec<i8> {
+        // LLM-like distribution: narrow Gaussian bulk + rare large
+        // outliers (the paper's §VI observation).
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                if rng.chance(0.005) {
+                    let mag = 80.0 + rng.next_f64() * 47.0;
+                    let v = if rng.chance(0.5) { mag } else { -mag };
+                    v as i8
+                } else {
+                    (rng.normal() * 8.0).clamp(-60.0, 60.0) as i8
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_pages_report_zero() {
+        let c = PageCodec::paper();
+        let w = gaussian_weights(1, c.elems);
+        let r = measure(&w, &w, &c);
+        assert_eq!(r.changed, 0);
+        assert_eq!(r.severity(), 0.0);
+        assert_eq!(r.change_rate(), 0.0);
+    }
+
+    #[test]
+    fn ecc_protects_outliers_at_1e_4() {
+        let c = PageCodec::paper();
+        let w = gaussian_weights(2, c.elems);
+        let with = run_trial(&c, &w, 1e-4, 99, true);
+        let without = run_trial(&c, &w, 1e-4, 99, false);
+        // The ECC must strictly reduce magnitude-weighted damage: big
+        // flips on outliers and fake outliers dominate RMS error.
+        assert!(
+            with.rms_err < without.rms_err,
+            "with {} vs without {}",
+            with.rms_err,
+            without.rms_err
+        );
+        assert!(with.outliers_changed <= without.outliers_changed);
+    }
+
+    #[test]
+    fn severity_grows_with_ber() {
+        let c = PageCodec::paper();
+        let w = gaussian_weights(3, c.elems);
+        let lo = run_trials(&c, |s| gaussian_weights(s, c.elems), 4, 1e-5, 5, false);
+        let hi = run_trials(&c, |s| gaussian_weights(s, c.elems), 4, 1e-3, 5, false);
+        let _ = w;
+        assert!(hi.severity() > lo.severity());
+        assert!(hi.change_rate() > lo.change_rate());
+    }
+
+    #[test]
+    fn ecc_cannot_help_midrange_values() {
+        // §VIII-D: "It offers no protection for intermediate and small
+        // values" — at very high BER both arms degrade.
+        let c = PageCodec::paper();
+        let with = run_trials(&c, |s| gaussian_weights(s, c.elems), 3, 1e-2, 11, true);
+        assert!(with.change_rate() > 0.02, "{}", with.change_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn measure_rejects_mismatched_lengths() {
+        let c = PageCodec::paper();
+        measure(&[0i8; 4], &[0i8; 5], &c);
+    }
+}

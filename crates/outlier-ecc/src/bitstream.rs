@@ -1,0 +1,130 @@
+//! MSB-first bit packing for the ECC spare-area layout.
+
+/// Writes bit fields MSB-first into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 32` or `value` has bits above `width`.
+    pub fn write(&mut self, value: u32, width: u32) {
+        assert!(width <= 32, "width {width} too large");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value:#x} exceeds {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes, returning the packed bytes (last byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bit fields MSB-first from a byte buffer.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits MSB-first. Reads past the end return zero bits
+    /// (the spare area is larger than the payload; trailing bits are
+    /// padding).
+    pub fn read(&mut self, width: u32) -> u32 {
+        let mut v = 0u32;
+        for _ in 0..width {
+            let byte_idx = self.pos / 8;
+            let bit = if byte_idx < self.bytes.len() {
+                (self.bytes[byte_idx] >> (7 - (self.pos % 8))) & 1
+            } else {
+                0
+            };
+            v = (v << 1) | bit as u32;
+            self.pos += 1;
+        }
+        v
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0x3FFF, 14);
+        w.write(0, 5);
+        w.write(0xAB, 8);
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        assert_eq!(bits, 30);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(14), 0x3FFF);
+        assert_eq!(r.read(5), 0);
+        assert_eq!(r.read(8), 0xAB);
+        assert_eq!(r.bit_pos(), 30);
+    }
+
+    #[test]
+    fn reading_past_end_yields_zeros() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read(8), 0xFF);
+        assert_eq!(r.read(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_panics() {
+        BitWriter::new().write(8, 3);
+    }
+
+    #[test]
+    fn bytes_are_msb_first() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

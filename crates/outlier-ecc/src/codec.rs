@@ -1,0 +1,402 @@
+//! The outlier-oriented ECC page codec (paper §VI, Figure 8).
+//!
+//! Per 16 KB page of INT8 weights:
+//!
+//! * the **top 1 %** of values by magnitude are *protected outliers*:
+//!   their 14-bit address (Hamming-protected with 5 parity bits) and
+//!   `N = 2` extra copies of their 8-bit value are stored in the page's
+//!   spare area;
+//! * the **threshold** — the smallest protected magnitude — is stored
+//!   first as 9 replicated bytes (bit-wise majority on read);
+//! * on read, protected addresses are recovered by **bit-wise majority
+//!   vote** over `{stored value, copy₁, copy₂}`; unprotected values whose
+//!   magnitude exceeds the threshold must be flip-generated *fake
+//!   outliers* and are **clamped to zero**.
+//!
+//! Layout: `9×8 + (14 + 5 + 2×8) × n_outliers` bits — 722 B for a 16 KB
+//! page, within the 1664 B spare area.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::hamming;
+
+/// Number of replicated threshold bytes (Figure 8(a): "e.g., 9 copies").
+pub const THRESHOLD_COPIES: usize = 9;
+
+/// Codec configuration for one page geometry.
+///
+/// # Domain assumption
+///
+/// The mechanism presumes the LLM weight statistics of §VI: large
+/// magnitudes are *rare* (≲1% of a page). On a page where values above
+/// the protected set's floor are common, the fake-outlier clamp will
+/// zero legitimate weights that flip upward, and protection can be
+/// counter-productive. This matches the paper, which motivates the
+/// design exclusively with the outlier sparsity of ≥7B LLMs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageCodec {
+    /// Weight elements per page (16384 for a 16 KB INT8 page).
+    pub elems: usize,
+    /// Fraction of elements protected (paper: top 1 %).
+    pub protect_fraction: f64,
+    /// Extra value copies stored per outlier (paper: `N = 2`, even).
+    pub value_copies: usize,
+    /// Spare-area bytes available.
+    pub spare_bytes: usize,
+}
+
+impl Default for PageCodec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl PageCodec {
+    /// The paper's configuration: 16 KB page, top 1 %, two copies,
+    /// 1664 B spare.
+    pub fn paper() -> Self {
+        PageCodec {
+            elems: 16 * 1024,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: 1664,
+        }
+    }
+
+    /// Number of protected outliers per page (163 for the paper config).
+    pub fn outlier_count(&self) -> usize {
+        ((self.elems as f64) * self.protect_fraction) as usize
+    }
+
+    /// Size of the encoded ECC payload in bits.
+    pub fn payload_bits(&self) -> usize {
+        THRESHOLD_COPIES * 8 + self.outlier_count() * (14 + 5 + self.value_copies * 8)
+    }
+
+    /// Size of the encoded ECC payload in bytes (rounded up).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bits().div_ceil(8)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the page needs more than 14 address bits,
+    /// the copy count is odd/zero, or the payload overflows the spare.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.elems == 0 || self.elems > (1 << 14) {
+            return Err(format!("{} elems not addressable in 14 bits", self.elems));
+        }
+        if self.value_copies == 0 || self.value_copies % 2 != 0 {
+            return Err("value_copies must be a positive even number (majority vote)".into());
+        }
+        if self.payload_bytes() > self.spare_bytes {
+            return Err(format!(
+                "ECC payload {} B exceeds spare area {} B",
+                self.payload_bytes(),
+                self.spare_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Encodes a page of weights, producing the spare-area ECC bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `weights.len()` differs
+    /// from `elems`.
+    pub fn encode(&self, weights: &[i8]) -> EncodedPage {
+        self.validate().expect("invalid codec config");
+        assert_eq!(weights.len(), self.elems, "wrong page size");
+        let n = self.outlier_count();
+
+        // Select the top-n magnitudes. Ties broken by address for
+        // determinism.
+        let mut idx: Vec<usize> = (0..weights.len()).collect();
+        idx.sort_by_key(|&i| (std::cmp::Reverse(weights[i].unsigned_abs()), i));
+        let mut protected: Vec<usize> = idx[..n].to_vec();
+        protected.sort_unstable();
+        let threshold: u8 = protected
+            .iter()
+            .map(|&i| weights[i].unsigned_abs())
+            .min()
+            .unwrap_or(u8::MAX);
+
+        let mut w = BitWriter::new();
+        for _ in 0..THRESHOLD_COPIES {
+            w.write(threshold as u32, 8);
+        }
+        for &i in &protected {
+            let codeword = hamming::encode(i as u16);
+            // addr(14) then parity(5): split the 19-bit codeword so the
+            // layout matches Figure 8(a)'s "Addr | ECC" fields.
+            w.write(codeword & 0x3FFF, 14);
+            w.write(codeword >> 14, 5);
+            for _ in 0..self.value_copies {
+                w.write(weights[i] as u8 as u32, 8);
+            }
+        }
+        let mut spare = w.into_bytes();
+        spare.resize(self.spare_bytes, 0);
+        EncodedPage {
+            data: weights.to_vec(),
+            spare,
+        }
+    }
+
+    /// Decodes a (possibly corrupted) page, applying the on-die Error
+    /// Correction Unit's rules. Returns the corrected weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page geometry does not match the codec.
+    pub fn decode(&self, page: &EncodedPage) -> Vec<i8> {
+        self.decode_with_stats(page).0
+    }
+
+    /// Like [`decode`](Self::decode) but also reports corrector actions.
+    pub fn decode_with_stats(&self, page: &EncodedPage) -> (Vec<i8>, DecodeStats) {
+        self.validate().expect("invalid codec config");
+        assert_eq!(page.data.len(), self.elems, "wrong page size");
+        let mut r = BitReader::new(&page.spare);
+
+        // Threshold: bit-wise majority over the replicated copies.
+        let copies: Vec<u8> = (0..THRESHOLD_COPIES).map(|_| r.read(8) as u8).collect();
+        let threshold = bitwise_majority(&copies);
+
+        // Outlier table.
+        let n = self.outlier_count();
+        let mut entries: Vec<(u16, Vec<u8>)> = Vec::with_capacity(n);
+        let mut stats = DecodeStats::default();
+        for _ in 0..n {
+            let addr_bits = r.read(14);
+            let parity_bits = r.read(5);
+            let codeword = (parity_bits << 14) | addr_bits;
+            let decoded = hamming::decode(codeword);
+            if matches!(decoded, hamming::Decoded::Corrected(_)) {
+                stats.addresses_corrected += 1;
+            }
+            let vals: Vec<u8> = (0..self.value_copies).map(|_| r.read(8) as u8).collect();
+            match decoded.address() {
+                Some(a) if (a as usize) < self.elems => entries.push((a, vals)),
+                _ => stats.entries_discarded += 1,
+            }
+        }
+
+        let mut out = page.data.clone();
+        let mut is_protected = vec![false; self.elems];
+        for (addr, copies) in &entries {
+            let i = *addr as usize;
+            if is_protected[i] {
+                // Duplicate address from a miscorrection: keep first.
+                stats.entries_discarded += 1;
+                continue;
+            }
+            is_protected[i] = true;
+            // Majority vote over {flash value, copy1, copy2, ...}.
+            let mut votes = Vec::with_capacity(copies.len() + 1);
+            votes.push(out[i] as u8);
+            votes.extend_from_slice(copies);
+            let voted = bitwise_majority(&votes);
+            if voted != out[i] as u8 {
+                stats.outliers_repaired += 1;
+            }
+            out[i] = voted as i8;
+        }
+        // Clamp fake outliers among unprotected values.
+        for i in 0..self.elems {
+            if !is_protected[i] && out[i].unsigned_abs() > threshold {
+                out[i] = 0;
+                stats.values_clamped += 1;
+            }
+        }
+        (out, stats)
+    }
+}
+
+/// A page as stored in flash: data area plus spare-area ECC bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPage {
+    /// INT8 weight values (the 16 KB data area).
+    pub data: Vec<i8>,
+    /// Spare-area bytes holding the ECC payload.
+    pub spare: Vec<u8>,
+}
+
+/// Corrector activity counters for one page decode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Outlier values whose majority vote changed the stored value.
+    pub outliers_repaired: usize,
+    /// Addresses fixed by the Hamming decoder.
+    pub addresses_corrected: usize,
+    /// Outlier-table entries dropped (uncorrectable/out-of-range addr).
+    pub entries_discarded: usize,
+    /// Unprotected values clamped to zero as fake outliers.
+    pub values_clamped: usize,
+}
+
+/// Bit-wise majority over an odd (or even, ties→0) number of bytes.
+fn bitwise_majority(bytes: &[u8]) -> u8 {
+    let half = bytes.len() / 2;
+    let mut out = 0u8;
+    for bit in 0..8 {
+        let ones = bytes.iter().filter(|b| (*b >> bit) & 1 == 1).count();
+        if ones > half {
+            out |= 1 << bit;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_page(codec: &PageCodec) -> Vec<i8> {
+        // Deterministic page with a clear outlier structure: mostly small
+        // values, a sprinkling of large-magnitude outliers.
+        (0..codec.elems)
+            .map(|i| {
+                if i % 100 == 7 {
+                    if i % 200 == 7 {
+                        100 + (i % 27) as i8
+                    } else {
+                        -100 - (i % 27) as i8
+                    }
+                } else {
+                    ((i % 31) as i8) - 15
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_payload_is_722_bytes() {
+        let c = PageCodec::paper();
+        assert_eq!(c.outlier_count(), 163);
+        // 72 + 163 × 35 = 5777 bits → 723 B packed (the paper quotes
+        // 722 B from 5777/8 = 722.1).
+        assert_eq!(c.payload_bits(), 5777);
+        assert_eq!(c.payload_bytes(), 723);
+        assert!(c.payload_bytes() <= c.spare_bytes);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn clean_roundtrip_is_identity() {
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let page = c.encode(&weights);
+        let (out, stats) = c.decode_with_stats(&page);
+        assert_eq!(out, weights);
+        assert_eq!(stats, DecodeStats::default());
+    }
+
+    #[test]
+    fn protected_outlier_survives_a_flip() {
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let mut page = c.encode(&weights);
+        // Find a protected outlier (value 100+) and corrupt its stored
+        // data byte.
+        let victim = weights.iter().position(|&v| v.unsigned_abs() >= 100).unwrap();
+        page.data[victim] ^= 0x40u8 as i8; // flip bit 6
+        let (out, stats) = c.decode_with_stats(&page);
+        assert_eq!(out[victim], weights[victim], "vote failed");
+        assert_eq!(stats.outliers_repaired, 1);
+    }
+
+    #[test]
+    fn fake_outlier_is_clamped_to_zero() {
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let mut page = c.encode(&weights);
+        // Corrupt an unprotected small value into a huge one.
+        let victim = weights.iter().position(|&v| v == 0).unwrap();
+        page.data[victim] = 127;
+        let (out, stats) = c.decode_with_stats(&page);
+        assert_eq!(out[victim], 0, "fake outlier not clamped");
+        assert_eq!(stats.values_clamped, 1);
+    }
+
+    #[test]
+    fn small_flip_below_threshold_passes_through() {
+        // The mechanism deliberately does not protect mid-range values:
+        // a flip that stays below the threshold survives to the output.
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let mut page = c.encode(&weights);
+        let victim = weights.iter().position(|&v| v == 0).unwrap();
+        page.data[victim] = 3;
+        let out = c.decode(&page);
+        assert_eq!(out[victim], 3);
+    }
+
+    #[test]
+    fn address_field_flip_is_corrected_by_hamming() {
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let mut page = c.encode(&weights);
+        // First outlier entry starts right after the 9 threshold bytes;
+        // flip a bit inside its 14-bit address field.
+        page.spare[9] ^= 0x20;
+        let (out, stats) = c.decode_with_stats(&page);
+        assert_eq!(out, weights);
+        assert_eq!(stats.addresses_corrected, 1);
+    }
+
+    #[test]
+    fn threshold_survives_copy_corruption() {
+        let c = PageCodec::paper();
+        let weights = ramp_page(&c);
+        let mut page = c.encode(&weights);
+        // Corrupt 4 of the 9 threshold copies — majority still wins.
+        for i in 0..4 {
+            page.spare[i] = !page.spare[i];
+        }
+        let out = c.decode(&page);
+        assert_eq!(out, weights);
+    }
+
+    #[test]
+    fn bitwise_majority_votes_per_bit() {
+        assert_eq!(bitwise_majority(&[0b1010, 0b1010, 0b0101]), 0b1010);
+        assert_eq!(bitwise_majority(&[0xFF, 0x00, 0xFF]), 0xFF);
+        assert_eq!(bitwise_majority(&[0x0F]), 0x0F);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = PageCodec::paper();
+        c.value_copies = 3;
+        assert!(c.validate().is_err());
+        let mut c2 = PageCodec::paper();
+        c2.elems = 1 << 15;
+        assert!(c2.validate().is_err());
+        let mut c3 = PageCodec::paper();
+        c3.spare_bytes = 100;
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn smaller_pages_work() {
+        let c = PageCodec {
+            elems: 4096,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: 512,
+        };
+        c.validate().unwrap();
+        let weights: Vec<i8> = (0..4096).map(|i| ((i * 7) % 256) as u8 as i8).collect();
+        let page = c.encode(&weights);
+        assert_eq!(c.decode(&page), weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong page size")]
+    fn wrong_size_panics() {
+        PageCodec::paper().encode(&[0i8; 100]);
+    }
+}

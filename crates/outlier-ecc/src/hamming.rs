@@ -1,0 +1,181 @@
+//! Hamming(19,14) single-error-correcting code for outlier addresses.
+//!
+//! §VI of the paper: each protected outlier's 14-bit in-page address is
+//! "accompanied by a 5-bit private error-correcting code ... utilizing
+//! the format of Hamming code. ... If a 1-bit error occurs in the
+//! address, it will be corrected by the on-die decoder. If a 2-bit error
+//! occurs, the protected value will be discarded."
+//!
+//! With 14 data bits, 5 parity bits give a (19,14) Hamming code — the
+//! minimal SEC configuration (2⁵ ≥ 14 + 5 + 1). Pure SEC cannot
+//! *reliably* detect double errors (some alias to miscorrections); we
+//! catch the detectable subset (syndrome pointing outside the codeword)
+//! and additionally let callers reject corrected addresses that fall
+//! outside the page — the behaviour the paper's "discard" rule needs.
+
+/// Result of decoding a possibly corrupted codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected; payload is the 14-bit address.
+    Clean(u16),
+    /// A single-bit error was corrected; payload is the address.
+    Corrected(u16),
+    /// The syndrome is inconsistent (detectable multi-bit error).
+    Uncorrectable,
+}
+
+impl Decoded {
+    /// The recovered address, if any.
+    pub fn address(self) -> Option<u16> {
+        match self {
+            Decoded::Clean(a) | Decoded::Corrected(a) => Some(a),
+            Decoded::Uncorrectable => None,
+        }
+    }
+}
+
+const DATA_BITS: u32 = 14;
+const TOTAL_BITS: u32 = 19;
+
+/// Returns true for codeword positions (1-based) that hold parity bits.
+#[inline]
+fn is_parity_pos(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// Encodes a 14-bit address into a 19-bit Hamming codeword.
+///
+/// The codeword is returned in the low 19 bits, bit `i` (0-based)
+/// corresponding to Hamming position `i + 1`.
+///
+/// # Panics
+///
+/// Panics if `addr` does not fit in 14 bits.
+pub fn encode(addr: u16) -> u32 {
+    assert!(addr < (1 << DATA_BITS), "address {addr} exceeds 14 bits");
+    // Scatter data bits into non-parity positions.
+    let mut word: u32 = 0;
+    let mut data_idx = 0;
+    for pos in 1..=TOTAL_BITS {
+        if !is_parity_pos(pos) {
+            if (addr >> data_idx) & 1 == 1 {
+                word |= 1 << (pos - 1);
+            }
+            data_idx += 1;
+        }
+    }
+    // Compute each parity bit: XOR of all positions whose index has that
+    // parity bit set.
+    for p in [1u32, 2, 4, 8, 16] {
+        let mut parity = 0u32;
+        for pos in 1..=TOTAL_BITS {
+            if pos & p != 0 && !is_parity_pos(pos) {
+                parity ^= (word >> (pos - 1)) & 1;
+            }
+        }
+        if parity == 1 {
+            word |= 1 << (p - 1);
+        }
+    }
+    word
+}
+
+/// Decodes a 19-bit codeword, correcting up to one flipped bit.
+pub fn decode(mut word: u32) -> Decoded {
+    word &= (1 << TOTAL_BITS) - 1;
+    // Syndrome: XOR of the (1-based) positions of all set bits.
+    let mut syndrome = 0u32;
+    for pos in 1..=TOTAL_BITS {
+        if (word >> (pos - 1)) & 1 == 1 {
+            syndrome ^= pos;
+        }
+    }
+    let corrected = if syndrome == 0 {
+        None
+    } else if syndrome <= TOTAL_BITS {
+        word ^= 1 << (syndrome - 1);
+        Some(())
+    } else {
+        return Decoded::Uncorrectable;
+    };
+    // Gather data bits.
+    let mut addr: u16 = 0;
+    let mut data_idx = 0;
+    for pos in 1..=TOTAL_BITS {
+        if !is_parity_pos(pos) {
+            if (word >> (pos - 1)) & 1 == 1 {
+                addr |= 1 << data_idx;
+            }
+            data_idx += 1;
+        }
+    }
+    match corrected {
+        None => Decoded::Clean(addr),
+        Some(()) => Decoded::Corrected(addr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_addresses() {
+        for addr in 0..(1u16 << 14) {
+            assert_eq!(decode(encode(addr)), Decoded::Clean(addr));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_flip() {
+        for addr in [0u16, 1, 163, 4095, 16383, 9999] {
+            let word = encode(addr);
+            for bit in 0..19 {
+                let corrupted = word ^ (1 << bit);
+                let d = decode(corrupted);
+                assert_eq!(
+                    d,
+                    Decoded::Corrected(addr),
+                    "addr {addr} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_flips_never_return_clean() {
+        // SEC cannot reliably recover 2-bit errors, but it must never
+        // claim a clean decode for one.
+        for addr in [7u16, 1234, 16000] {
+            let word = encode(addr);
+            for b1 in 0..19 {
+                for b2 in (b1 + 1)..19 {
+                    let corrupted = word ^ (1 << b1) ^ (1 << b2);
+                    match decode(corrupted) {
+                        Decoded::Clean(_) => panic!("2-bit error decoded as clean"),
+                        Decoded::Corrected(_) | Decoded::Uncorrectable => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 14 bits")]
+    fn oversized_address_panics() {
+        encode(1 << 14);
+    }
+
+    #[test]
+    fn parity_positions_are_powers_of_two() {
+        assert!(is_parity_pos(1) && is_parity_pos(16));
+        assert!(!is_parity_pos(3) && !is_parity_pos(19));
+    }
+
+    #[test]
+    fn decoded_address_accessor() {
+        assert_eq!(Decoded::Clean(5).address(), Some(5));
+        assert_eq!(Decoded::Corrected(9).address(), Some(9));
+        assert_eq!(Decoded::Uncorrectable.address(), None);
+    }
+}

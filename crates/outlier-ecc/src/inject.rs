@@ -1,0 +1,179 @@
+//! Flash bit-flip error injection.
+//!
+//! §III-C: retention errors dominate NAND failure modes; a fresh 3D TLC
+//! chip reaches BER ~1e-4 after hours of retention, and aged chips exceed
+//! 1e-2. The paper "constructs flash error models of varying intensities
+//! ... and injects them into quantized model weights"; this module is
+//! that error model. Flips hit the data area *and* the spare-area ECC
+//! bytes — the corrector must survive corruption of its own metadata.
+//!
+//! Injection uses geometric skip-sampling (jump directly between flips)
+//! so sweeping BERs down to 1e-6 over many pages stays fast.
+
+use crate::codec::EncodedPage;
+use sim_core::SplitMix64;
+
+/// A Bernoulli-per-bit flash error model.
+#[derive(Debug, Clone)]
+pub struct BitFlipModel {
+    /// Probability that any single stored bit is flipped.
+    pub ber: f64,
+    rng: SplitMix64,
+}
+
+impl BitFlipModel {
+    /// Creates a model with bit error rate `ber` and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ber ≤ 1`.
+    pub fn new(ber: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "BER {ber} out of range");
+        BitFlipModel {
+            ber,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Flips bits in `buf` in place; returns the number of flips.
+    pub fn corrupt_bytes(&mut self, buf: &mut [u8]) -> usize {
+        if self.ber <= 0.0 || buf.is_empty() {
+            return 0;
+        }
+        let total_bits = buf.len() as u64 * 8;
+        let mut flips = 0;
+        let mut pos = self.rng.geometric(self.ber);
+        while pos < total_bits {
+            let byte = (pos / 8) as usize;
+            let bit = (pos % 8) as u32;
+            buf[byte] ^= 1 << bit;
+            flips += 1;
+            pos += 1 + self.rng.geometric(self.ber);
+        }
+        flips
+    }
+
+    /// Corrupts a whole stored page: data area and spare area.
+    /// Returns `(data_flips, spare_flips)`.
+    pub fn corrupt_page(&mut self, page: &mut EncodedPage) -> (usize, usize) {
+        // i8 and u8 share representation; flip on the raw bytes.
+        let data_flips = {
+            let bytes: &mut [u8] = unsafe {
+                std::slice::from_raw_parts_mut(page.data.as_mut_ptr() as *mut u8, page.data.len())
+            };
+            self.corrupt_bytes(bytes)
+        };
+        let spare_flips = self.corrupt_bytes(&mut page.spare);
+        (data_flips, spare_flips)
+    }
+}
+
+/// The paper's analytic protected-flip-rate bound (§VI):
+///
+/// ```text
+/// f_prot = Σ_{i=N/2+1}^{N+1} C(N+1, i) · xⁱ · (1−x)^{N+1−i}
+/// ```
+///
+/// With `N = 2` copies and `x = 1e-4`, `f_prot ≈ 3x² = 3e-8`.
+pub fn protected_flip_rate(copies: usize, x: f64) -> f64 {
+    assert!(copies % 2 == 0 && copies > 0, "copies must be positive even");
+    let n = copies;
+    (n / 2 + 1..=n + 1)
+        .map(|i| binomial(n + 1, i) as f64 * x.powi(i as i32) * (1.0 - x).powi((n + 1 - i) as i32))
+        .sum()
+}
+
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u64 = 1;
+    let mut den: u64 = 1;
+    for i in 0..k {
+        num *= (n - i) as u64;
+        den *= (i + 1) as u64;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_count_matches_ber() {
+        let mut m = BitFlipModel::new(1e-3, 42);
+        let mut buf = vec![0u8; 1 << 20]; // 8M bits
+        let flips = m.corrupt_bytes(&mut buf);
+        let expected = 8.0 * (1 << 20) as f64 * 1e-3; // ~8389
+        assert!(
+            (flips as f64 - expected).abs() / expected < 0.1,
+            "{flips} vs {expected}"
+        );
+        // Every flip leaves a set bit (from zeroed buffer).
+        let set: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(set as usize, flips);
+    }
+
+    #[test]
+    fn zero_ber_flips_nothing() {
+        let mut m = BitFlipModel::new(0.0, 1);
+        let mut buf = vec![0xAAu8; 4096];
+        assert_eq!(m.corrupt_bytes(&mut buf), 0);
+        assert!(buf.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = BitFlipModel::new(1e-4, 7);
+        let mut b = BitFlipModel::new(1e-4, 7);
+        let mut buf_a = vec![0u8; 65536];
+        let mut buf_b = vec![0u8; 65536];
+        a.corrupt_bytes(&mut buf_a);
+        b.corrupt_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn corrupt_page_touches_both_areas() {
+        let mut m = BitFlipModel::new(0.02, 3);
+        let mut page = EncodedPage {
+            data: vec![0i8; 16384],
+            spare: vec![0u8; 1664],
+        };
+        let (d, s) = m.corrupt_page(&mut page);
+        assert!(d > 1000, "{d}");
+        assert!(s > 50, "{s}");
+    }
+
+    #[test]
+    fn paper_fprot_example() {
+        // N = 2, x = 1e-4 → f_prot ≈ 3e-8 (paper §VI).
+        let f = protected_flip_rate(2, 1e-4);
+        assert!((f - 3e-8).abs() / 3e-8 < 0.01, "{f}");
+    }
+
+    #[test]
+    fn fprot_improves_with_more_copies() {
+        let x = 1e-3;
+        let f2 = protected_flip_rate(2, x);
+        let f4 = protected_flip_rate(4, x);
+        assert!(f4 < f2);
+        assert!(f2 < x);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(3, 2), 3);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_ber_panics() {
+        BitFlipModel::new(1.5, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # outlier-ecc — the on-die outlier-oriented error correction of §VI
+//!
+//! NAND retention errors (BER 1e-4 … 1e-2) would silently corrupt
+//! weights consumed by the in-flash compute cores, collapsing LLM
+//! accuracy by 70%+ (paper Figure 3(b)). Cambricon-LLM's Error
+//! Correction Unit protects exactly what matters:
+//!
+//! * the **top 1 % of weight magnitudes** (outliers) get two extra
+//!   stored copies + a Hamming-protected address, recovered by bit-wise
+//!   majority vote ([`codec::PageCodec`]);
+//! * the page-wide **threshold** (9 replicated copies) lets the decoder
+//!   clamp *fake outliers* — normal values flipped upward — to zero;
+//! * everything fits in the page's existing spare area (722 B of
+//!   payload in 1664 B for a 16 KB page).
+//!
+//! The crate is bit-exact: pages really are encoded into spare-area
+//! bytes, bit flips really are injected ([`inject::BitFlipModel`]), and
+//! the decoder really votes. [`analysis`] measures the surviving damage.
+//!
+//! ## Example
+//!
+//! ```
+//! use outlier_ecc::{PageCodec, BitFlipModel};
+//!
+//! let codec = PageCodec::paper();
+//! let weights: Vec<i8> = (0..16384)
+//!     .map(|i| if i % 97 == 0 { 110 } else { (i % 23) as i8 - 11 })
+//!     .collect();
+//! let mut page = codec.encode(&weights);
+//! BitFlipModel::new(1e-4, 7).corrupt_page(&mut page);
+//! let decoded = codec.decode(&page);
+//! // Outliers survive; total damage is tiny.
+//! let diff = decoded.iter().zip(&weights).filter(|(a, b)| a != b).count();
+//! assert!(diff < 40, "{diff}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alternatives;
+pub mod analysis;
+pub mod bitstream;
+pub mod codec;
+pub mod hamming;
+pub mod inject;
+
+pub use alternatives::{compare_alternatives, AlternativeRow, Protection};
+pub use analysis::{measure, run_trial, run_trials, CorruptionReport};
+pub use codec::{DecodeStats, EncodedPage, PageCodec, THRESHOLD_COPIES};
+pub use inject::{protected_flip_rate, BitFlipModel};

@@ -1,0 +1,185 @@
+//! A small deterministic RNG for simulations.
+//!
+//! Simulation results must be exactly reproducible from a seed, across
+//! platforms and crate versions, because `EXPERIMENTS.md` records concrete
+//! numbers. We therefore pin the generator algorithm in-repo rather than
+//! relying on `rand`'s unspecified `StdRng` (which may change between
+//! releases). The generator is SplitMix64 — tiny, fast, and statistically
+//! sound for Monte-Carlo error injection at the rates we use (down to
+//! 1e-6 per bit over multi-megabyte pages).
+//!
+//! Workload-level code that wants distributions still uses the `rand`
+//! crate; this type exists for the hot inner loops of bit-flip injection
+//! and for cases where algorithm stability is part of the contract.
+
+/// Deterministic SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Multiply-shift; bias is negligible for our bounds (< 2^40).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples from a geometric distribution: the number of failures
+    /// before the first success with success probability `p`.
+    ///
+    /// Used to skip directly between rare bit flips instead of testing
+    /// every bit: injecting errors at BER 1e-6 over a 16 KiB page means
+    /// ~0.13 expected flips, so skip-sampling is thousands of times
+    /// faster than per-bit Bernoulli trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric requires 0 < p <= 1");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Standard normal sample (Box–Muller; one value per call).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Derives an independent child generator (for per-page streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut rng = SplitMix64::new(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn geometric_mean_close_to_theory() {
+        let mut rng = SplitMix64::new(6);
+        let p = 0.01;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = (1.0 - p) / p; // 99
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn normal_mean_and_var() {
+        let mut rng = SplitMix64::new(8);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SplitMix64::new(9);
+        let mut child = parent.fork();
+        // Child continues deterministically.
+        let c1 = child.next_u64();
+        let mut parent2 = SplitMix64::new(9);
+        let mut child2 = parent2.fork();
+        assert_eq!(c1, child2.next_u64());
+    }
+}

@@ -1,0 +1,244 @@
+//! Statistics collection for simulators.
+//!
+//! Two building blocks cover everything the paper's evaluation needs:
+//!
+//! * [`BusyTracker`] — measures the fraction of virtual time a resource
+//!   (a flash channel, the NPU, the DRAM bus) spends busy. This is what
+//!   "Channel Usage" in Figures 12, 14 and 15 reports.
+//! * [`Counter`] — monotone byte/op/request counters used for the data
+//!   transfer accounting in Figure 16.
+
+use crate::time::SimTime;
+
+/// Tracks the total busy time of a single resource.
+///
+/// Busy intervals are reported by the simulator as they are *retired*
+/// (i.e., after the fact), so overlapping bookkeeping errors are caught:
+/// intervals must be non-overlapping and non-decreasing in start time.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{BusyTracker, SimTime};
+///
+/// let mut ch = BusyTracker::new();
+/// ch.add_interval(SimTime::from_nanos(0), SimTime::from_nanos(30));
+/// ch.add_interval(SimTime::from_nanos(50), SimTime::from_nanos(70));
+/// assert_eq!(ch.busy_time(), SimTime::from_nanos(50));
+/// assert!((ch.utilization(SimTime::from_nanos(100)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    busy: SimTime,
+    last_end: SimTime,
+    intervals: u64,
+}
+
+impl BusyTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or the interval overlaps a previously
+    /// recorded one (i.e. `start < last_end`).
+    pub fn add_interval(&mut self, start: SimTime, end: SimTime) {
+        assert!(end >= start, "interval ends before it starts");
+        assert!(
+            start >= self.last_end,
+            "overlapping busy interval: starts at {start}, previous ended {}",
+            self.last_end
+        );
+        self.busy += end - start;
+        self.last_end = end;
+        self.intervals += 1;
+    }
+
+    /// Records a busy interval of `duration` starting at `start`.
+    pub fn add_busy(&mut self, start: SimTime, duration: SimTime) {
+        self.add_interval(start, start + duration);
+    }
+
+    /// Total accumulated busy time.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// End of the most recent busy interval.
+    pub fn last_end(&self) -> SimTime {
+        self.last_end
+    }
+
+    /// Number of recorded intervals.
+    pub fn interval_count(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Busy fraction over `[0, horizon)`. Returns 0 for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_picos() as f64 / horizon.as_picos() as f64
+    }
+}
+
+/// A labelled monotone counter (bytes moved, requests served, ops run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value = self
+            .value
+            .checked_add(n)
+            .expect("counter overflow — check units");
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Running mean/min/max aggregate over `f64` samples, used for
+/// summarising per-channel utilizations and per-request latencies.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Aggregate {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for Aggregate {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Aggregate {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut agg = Aggregate::new();
+        agg.extend(iter);
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tracker_accumulates() {
+        let mut t = BusyTracker::new();
+        t.add_interval(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        t.add_interval(SimTime::from_nanos(20), SimTime::from_nanos(25));
+        assert_eq!(t.busy_time(), SimTime::from_nanos(15));
+        assert_eq!(t.interval_count(), 2);
+        assert_eq!(t.last_end(), SimTime::from_nanos(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn busy_tracker_rejects_overlap() {
+        let mut t = BusyTracker::new();
+        t.add_interval(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        t.add_interval(SimTime::from_nanos(15), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut t = BusyTracker::new();
+        t.add_interval(SimTime::ZERO, SimTime::from_nanos(100));
+        assert!((t.utilization(SimTime::from_nanos(100)) - 1.0).abs() < 1e-12);
+        assert_eq!(BusyTracker::new().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counter_adds() {
+        let mut c = Counter::new();
+        c.add(16 * 1024);
+        c.incr();
+        assert_eq!(c.get(), 16 * 1024 + 1);
+    }
+
+    #[test]
+    fn aggregate_stats() {
+        let agg: Aggregate = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(agg.count(), 3);
+        assert_eq!(agg.mean(), Some(2.0));
+        assert_eq!(agg.min(), Some(1.0));
+        assert_eq!(agg.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_aggregate_is_none() {
+        let agg = Aggregate::new();
+        assert_eq!(agg.mean(), None);
+        assert_eq!(agg.min(), None);
+        assert_eq!(agg.max(), None);
+    }
+}

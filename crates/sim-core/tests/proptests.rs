@@ -1,0 +1,76 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+use sim_core::{transfer_time, EventQueue, SimTime, SplitMix64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always pop in non-decreasing time order, FIFO at ties.
+    #[test]
+    fn queue_orders_events(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_idx_at_time: Option<usize> = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_idx_at_time {
+                    prop_assert!(idx > prev, "FIFO violated at {t}");
+                }
+            } else {
+                last_idx_at_time = None;
+            }
+            last_idx_at_time = Some(idx);
+            last_time = t;
+        }
+        prop_assert_eq!(q.total_popped(), times.len() as u64);
+    }
+
+    /// transfer_time is monotone in bytes and antitone in bandwidth,
+    /// and never under-reports (ceil rounding).
+    #[test]
+    fn transfer_time_monotone(bytes in 0u64..1_000_000_000, bw in 1u64..100_000_000_000) {
+        let t = transfer_time(bytes, bw);
+        prop_assert!(transfer_time(bytes + 1, bw) >= t);
+        prop_assert!(transfer_time(bytes, bw.saturating_mul(2)) <= t);
+        let moved = t.as_secs_f64() * bw as f64;
+        prop_assert!(moved + 1e-6 >= bytes as f64);
+    }
+
+    /// SimTime arithmetic is consistent with u64 picoseconds.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (x, y) = (SimTime::from_picos(a), SimTime::from_picos(b));
+        prop_assert_eq!((x + y).as_picos(), a + b);
+        prop_assert_eq!(x.max(y).as_picos(), a.max(b));
+        prop_assert_eq!(x.min(y).as_picos(), a.min(b));
+        prop_assert_eq!(x.saturating_sub(y).as_picos(), a.saturating_sub(b));
+    }
+
+    /// SplitMix64 streams are reproducible and forks deterministic.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let fork_a = a.fork();
+        let fork_b = b.fork();
+        prop_assert_eq!(fork_a, fork_b);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// next_below never exceeds its bound; chance(0)/chance(1) are
+    /// degenerate as expected.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+        prop_assert!(!rng.chance(0.0));
+        prop_assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tiling — the hardware-aware tiling strategy (paper §V)
+//!
+//! Splits every weight-matrix GeMV between the flash compute cores and
+//! the NPU:
+//!
+//! 1. [`optimal_tile`] derives the §V-A AM-GM-optimal tile shape
+//!    (`Hreq = √(ccorenum·pagesize)`, `Wreq = channelnum·Hreq`),
+//! 2. [`effective_rates`] computes the §V-B workload proportion α from
+//!    the steady-state channel rates (generalizing the paper's
+//!    `α = tr/(tr+trc)` with command overhead and slice chunking),
+//! 3. [`plan_gemv`] covers a concrete matrix with tiles, assigns α of it
+//!    to the flash and compiles per-channel workloads for `flash-sim`.
+//!
+//! ## Example
+//!
+//! ```
+//! use flash_sim::Topology;
+//! use tiling::{plan_gemv, AlphaInputs, Strategy};
+//!
+//! let inp = AlphaInputs::paper(Topology::cambricon_s());
+//! // Plan the Wq GeMV of OPT-6.7B (4096 × 4096).
+//! let plan = plan_gemv(&inp, 4096, 4096, Strategy::HardwareAware, None);
+//! assert_eq!(plan.flash_params + plan.npu_params, 4096 * 4096);
+//! // Cam-S sends roughly two-thirds of the work to the flash cores.
+//! assert!(plan.alpha_achieved > 0.5 && plan.alpha_achieved < 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alpha;
+pub mod plan;
+pub mod shape;
+
+pub use alpha::{effective_rates, AlphaInputs, EffectiveRates};
+pub use plan::{plan_gemv, GemvPlan, Strategy};
+pub use shape::{fit_tile, min_transfer_elems, optimal_tile, page_params, TileShape};

@@ -1,0 +1,79 @@
+//! Design-space exploration: sweep flash topology, quantization and the
+//! architecture's two key mechanisms, and report the decode speed of
+//! each point — the kind of study an architect would run before taping
+//! out a configuration (paper §VIII-C/E).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use cambricon_llm_repro::prelude::*;
+
+fn main() {
+    let model = zoo::opt_6_7b();
+    let seq = 1000;
+
+    println!("Design space for {model} (decode, context {seq})\n");
+
+    println!("{:<28} {:>10} {:>12}", "configuration", "tok/s", "channel use");
+    println!("{}", "-".repeat(52));
+
+    // Topology sweep.
+    for (ch, chips) in [(4, 2), (8, 2), (8, 8), (16, 4), (32, 8)] {
+        let mut sys = System::new(SystemConfig::custom(ch, chips));
+        let rep = sys.decode_token(&model, seq);
+        println!(
+            "{:<28} {:>10.2} {:>11.0}%",
+            format!("{ch} ch x {chips} chips"),
+            rep.tokens_per_sec,
+            rep.channel_utilization * 100.0
+        );
+    }
+
+    // Mechanism ablations on Cam-S.
+    let variants: [(&str, SystemConfig); 5] = [
+        ("Cam-S (full)", SystemConfig::cambricon_s()),
+        ("Cam-S w/o read slice", SystemConfig::cambricon_s().without_read_slice()),
+        (
+            "Cam-S flash-only",
+            SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly),
+        ),
+        (
+            "Cam-S NPU-only (offload)",
+            SystemConfig::cambricon_s().with_strategy(Strategy::NpuOnly),
+        ),
+        ("Cam-S W4A16", SystemConfig::cambricon_s().with_quant(Quant::W4A16)),
+    ];
+    println!();
+    for (name, cfg) in variants {
+        let mut sys = System::new(cfg);
+        let rep = sys.decode_token(&model, seq);
+        println!(
+            "{:<28} {:>10.2} {:>11.0}%",
+            name,
+            rep.tokens_per_sec,
+            rep.channel_utilization * 100.0
+        );
+    }
+
+    // Tile-shape sensitivity.
+    println!();
+    for (name, tile) in [
+        ("tile 256x2048 (optimal)", None),
+        ("tile 128x4096", Some(TileShape { h_req: 128, w_req: 4096 })),
+        ("tile 4096x128", Some(TileShape { h_req: 4096, w_req: 128 })),
+    ] {
+        let cfg = match tile {
+            None => SystemConfig::cambricon_s(),
+            Some(t) => SystemConfig::cambricon_s().with_tile(t),
+        };
+        let mut sys = System::new(cfg);
+        let rep = sys.decode_token(&model, seq);
+        println!(
+            "{:<28} {:>10.2} {:>11.0}%",
+            name,
+            rep.tokens_per_sec,
+            rep.channel_utilization * 100.0
+        );
+    }
+}

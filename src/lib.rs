@@ -1,0 +1,36 @@
+//! # cambricon-llm-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction of *Cambricon-LLM: A Chiplet-Based
+//! Hybrid Architecture for On-Device Inference of 70B LLM* (MICRO 2024)
+//! so examples and integration tests can use one dependency. See the
+//! README for the architecture tour and `DESIGN.md` for the experiment
+//! index.
+//!
+//! ```
+//! use cambricon_llm_repro::prelude::*;
+//!
+//! let mut sys = System::new(SystemConfig::cambricon_l());
+//! assert!(sys.decode_speed(&zoo::llama2_70b(), 1000) > 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use accuracy_lab;
+pub use baselines;
+pub use cambricon_llm;
+pub use flash_sim;
+pub use llm_workload;
+pub use npu_sim;
+pub use outlier_ecc;
+pub use sim_core;
+pub use tiling;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use baselines::{BaselineError, FlexGen, MlcLlm};
+    pub use cambricon_llm::{EnergyModel, System, SystemConfig};
+    pub use flash_sim::{SlicePolicy, Topology};
+    pub use llm_workload::{zoo, Quant};
+    pub use outlier_ecc::{BitFlipModel, PageCodec};
+    pub use tiling::{Strategy, TileShape};
+}

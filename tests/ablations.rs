@@ -1,0 +1,144 @@
+//! Integration tests for the ablation studies (Figures 12–15).
+
+use cambricon_llm_repro::prelude::*;
+
+const SEQ: usize = 1000;
+
+fn speed(cfg: SystemConfig, model: &llm_workload::ModelSpec) -> f64 {
+    System::new(cfg).decode_speed(model, SEQ)
+}
+
+#[test]
+fn fig12_slicing_speedup_band() {
+    // Paper: 1.6×–1.8× from read-request slicing. Accept a generous
+    // band around it — the baseline controller model is approximate.
+    for model in [zoo::opt_6_7b(), zoo::opt_30b(), zoo::llama2_7b()] {
+        let with = speed(SystemConfig::cambricon_s(), &model);
+        let without = speed(SystemConfig::cambricon_s().without_read_slice(), &model);
+        let gain = with / without;
+        assert!((1.2..2.3).contains(&gain), "{}: {gain:.2}", model.name);
+    }
+}
+
+#[test]
+fn fig12_utilization_drops_without_slicing() {
+    let model = zoo::opt_13b();
+    let a = System::new(SystemConfig::cambricon_s()).decode_token(&model, SEQ);
+    let b = System::new(SystemConfig::cambricon_s().without_read_slice()).decode_token(&model, SEQ);
+    assert!(a.channel_utilization > 0.6, "{}", a.channel_utilization);
+    assert!(
+        b.channel_utilization < a.channel_utilization - 0.15,
+        "{} vs {}",
+        b.channel_utilization,
+        a.channel_utilization
+    );
+}
+
+#[test]
+fn fig13_optimal_tile_wins() {
+    // Paper: 256×2048 beats 128×4096 by ~17.5% and 4096×128 by ~24.7%
+    // on average (Cam-S).
+    let shapes = [
+        TileShape { h_req: 128, w_req: 4096 },
+        TileShape { h_req: 4096, w_req: 128 },
+    ];
+    for model in [zoo::opt_6_7b(), zoo::llama2_7b()] {
+        let ours = speed(SystemConfig::cambricon_s(), &model);
+        for ts in shapes {
+            let alt = speed(SystemConfig::cambricon_s().with_tile(ts), &model);
+            assert!(
+                ours >= alt * 0.99,
+                "{}: ours {ours:.2} vs {}x{} {alt:.2}",
+                model.name,
+                ts.h_req,
+                ts.w_req
+            );
+        }
+    }
+}
+
+#[test]
+fn fig14_tiling_speedup_band() {
+    // Paper: hardware-aware tiling accelerates 1.3×–1.4×.
+    for model in [zoo::opt_6_7b(), zoo::opt_66b(), zoo::llama2_13b()] {
+        let with = speed(SystemConfig::cambricon_s(), &model);
+        let without = speed(
+            SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly),
+            &model,
+        );
+        let gain = with / without;
+        assert!((1.1..1.8).contains(&gain), "{}: {gain:.2}", model.name);
+    }
+}
+
+#[test]
+fn fig14_flash_only_utilization_is_a_few_percent() {
+    let model = zoo::opt_6_7b();
+    let rep = System::new(SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly))
+        .decode_token(&model, SEQ);
+    assert!(rep.channel_utilization < 0.08, "{}", rep.channel_utilization);
+}
+
+#[test]
+fn fig15_chip_scaling_saturates() {
+    // Paper: speed grows with chips/channel then flattens — the weights
+    // can no longer be spread across all cores and extra chips idle.
+    let model = zoo::opt_6_7b();
+    let speeds: Vec<f64> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&chips| speed(SystemConfig::custom(8, chips), &model))
+        .collect();
+    // Monotone non-decreasing (within noise)...
+    for w in speeds.windows(2) {
+        assert!(w[1] >= w[0] * 0.95, "{speeds:?}");
+    }
+    // ...early doublings scale strongly, the last doubling weakly.
+    let early = speeds[1] / speeds[0]; // 1→2 chips
+    let late = speeds[7] / speeds[6]; // 64→128 chips
+    assert!(early > 1.4, "early {early:.2} {speeds:?}");
+    assert!(late < 1.4, "late {late:.2} {speeds:?}");
+    assert!(late < early, "late {late:.2} vs early {early:.2}");
+}
+
+#[test]
+fn fig15_channel_scaling_is_steady() {
+    // Paper: performance steadily increases with channel count.
+    let model = zoo::opt_6_7b();
+    let speeds: Vec<f64> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&ch| speed(SystemConfig::custom(ch, 4), &model))
+        .collect();
+    for w in speeds.windows(2) {
+        assert!(w[1] > w[0] * 1.3, "{speeds:?}");
+    }
+}
+
+#[test]
+fn fig15_channel_utilization_declines_with_chips() {
+    // Paper Figure 15(c): utilization noticeably decreases when too
+    // many chips share a channel (more on-die compute → less weight
+    // shipping).
+    let model = zoo::opt_6_7b();
+    let few = System::new(SystemConfig::custom(8, 2)).decode_token(&model, SEQ);
+    let many = System::new(SystemConfig::custom(8, 64)).decode_token(&model, SEQ);
+    assert!(
+        many.channel_utilization < few.channel_utilization,
+        "{} vs {}",
+        many.channel_utilization,
+        few.channel_utilization
+    );
+}
+
+#[test]
+fn fig11_w4a16_gains_larger_for_larger_models() {
+    // Paper §VIII-B: "larger performance improvements occur in larger
+    // LLMs".
+    let gain = |model: &llm_workload::ModelSpec| {
+        let w8 = speed(SystemConfig::cambricon_l(), model);
+        let w4 = speed(SystemConfig::cambricon_l().with_quant(Quant::W4A16), model);
+        w4 / w8
+    };
+    let small = gain(&zoo::opt_6_7b());
+    let large = gain(&zoo::opt_66b());
+    assert!(large > small, "small {small:.2} vs large {large:.2}");
+}

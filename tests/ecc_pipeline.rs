@@ -1,0 +1,131 @@
+//! Integration tests for the reliability pipeline (Figures 3(b)/10):
+//! codec ↔ injector ↔ surrogate ↔ proxy model, across crates.
+
+use accuracy_lab::{
+    data::gaussian_blobs,
+    mlp::{Mlp, MlpConfig, QuantMlp},
+    storage::stored_accuracy,
+    surrogate,
+};
+use cambricon_llm_repro::prelude::*;
+use outlier_ecc::protected_flip_rate;
+
+#[test]
+fn fig10_curve_orderings() {
+    // At every BER the with-ECC curve dominates; both decay; ECC keeps
+    // ≥85% of base at 2e-4 (the paper's 92–95% claim, with slack).
+    let codec = PageCodec::paper();
+    let task = surrogate::tasks()[0]; // HellaSwag
+    let mut prev_no = f64::INFINITY;
+    let mut prev_ecc = f64::INFINITY;
+    for ber in [1e-5, 1e-4, 2e-4, 8e-4, 2e-3] {
+        let no = surrogate::accuracy_at(&codec, &task, ber, false, 5);
+        let ecc = surrogate::accuracy_at(&codec, &task, ber, true, 5);
+        assert!(ecc >= no - 1.0, "ber {ber}: {ecc} vs {no}");
+        assert!(no <= prev_no + 1.0 && ecc <= prev_ecc + 1.0);
+        prev_no = no;
+        prev_ecc = ecc;
+    }
+    let keep = surrogate::accuracy_at(&codec, &task, 2e-4, true, 5) / task.base_acc;
+    assert!(keep > 0.85, "{keep}");
+}
+
+#[test]
+fn protection_capability_multiplier() {
+    // Paper: the ECC provides ~2.3× protection capability — the BER at
+    // which accuracy collapses moves right by >2×. Find the collapse
+    // BER (accuracy below 70% of base) for both arms.
+    let codec = PageCodec::paper();
+    let task = surrogate::tasks()[0];
+    let collapse = |with_ecc: bool| -> f64 {
+        for ber in [
+            1e-5, 2e-5, 4e-5, 8e-5, 1.6e-4, 3.2e-4, 6.4e-4, 1.28e-3, 2.56e-3, 5.12e-3,
+        ] {
+            let a = surrogate::accuracy_at(&codec, &task, ber, with_ecc, 9);
+            if a < 0.7 * task.base_acc {
+                return ber;
+            }
+        }
+        1e-2
+    };
+    let without = collapse(false);
+    let with = collapse(true);
+    assert!(
+        with / without >= 2.0,
+        "protection {:.1}x (collapse {without:.1e} → {with:.1e})",
+        with / without
+    );
+}
+
+#[test]
+fn paper_fprot_formula_matches_monte_carlo() {
+    // f_prot = 3x² for N=2: verify the analytic formula against a
+    // direct Monte-Carlo of the majority vote.
+    use sim_core::SplitMix64;
+    let x = 0.05; // exaggerated per-bit rate for measurable statistics
+    let mut rng = SplitMix64::new(99);
+    let trials = 200_000;
+    let mut flipped = 0u64;
+    for _ in 0..trials {
+        // Three copies of a bit; each flips with probability x.
+        let a = rng.chance(x) as u8;
+        let b = rng.chance(x) as u8;
+        let c = rng.chance(x) as u8;
+        if a + b + c >= 2 {
+            flipped += 1;
+        }
+    }
+    let measured = flipped as f64 / trials as f64;
+    let analytic = protected_flip_rate(2, x);
+    assert!(
+        (measured - analytic).abs() / analytic < 0.08,
+        "measured {measured}, analytic {analytic}"
+    );
+}
+
+#[test]
+fn trained_model_survives_aged_flash_with_ecc() {
+    // End-to-end: a real trained classifier through the paper codec.
+    let cfg = MlpConfig::default();
+    let train = gaussian_blobs(2000, cfg.input, cfg.classes, 0.6, 11);
+    let test = gaussian_blobs(600, cfg.input, cfg.classes, 0.6, 22);
+    let q = QuantMlp::quantize(&Mlp::train(cfg, &train));
+    let codec = PageCodec {
+        elems: 4096,
+        protect_fraction: 0.01,
+        value_copies: 2,
+        spare_bytes: 512,
+    };
+    let clean = q.accuracy(&test);
+    let r = stored_accuracy(&q, &test, &codec, 1e-3, 3, true);
+    // At BER 1e-3 with ECC, the model stays close to clean accuracy.
+    assert!(
+        r.accuracy > clean - 0.08,
+        "clean {clean} vs stored {}",
+        r.accuracy
+    );
+}
+
+#[test]
+fn ecc_payload_fits_every_paper_page() {
+    // The codec must fit the spare area for all plausible page sizes.
+    for (elems, spare) in [(16384usize, 1664usize), (8192, 832), (4096, 448)] {
+        let c = PageCodec {
+            elems,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: spare,
+        };
+        c.validate().unwrap_or_else(|e| panic!("{elems}: {e}"));
+    }
+}
+
+#[test]
+fn severity_measured_not_assumed() {
+    // The ECC benefit in the figures comes from the measured codec, not
+    // a constant: severity with ECC must be multiples lower at 2e-4.
+    let codec = PageCodec::paper();
+    let no = surrogate::severity_at(&codec, 2e-4, false, 3);
+    let yes = surrogate::severity_at(&codec, 2e-4, true, 3);
+    assert!(no / yes > 3.0, "gain {}", no / yes);
+}

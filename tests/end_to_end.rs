@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the paper's headline claims.
+
+use cambricon_llm_repro::prelude::*;
+
+const SEQ: usize = 1000;
+
+#[test]
+fn headline_70b_speed_on_cambricon_l() {
+    // Abstract: "on-device inference of 70B LLMs at a speed of
+    // 3.44 token/s".
+    let mut sys = System::new(SystemConfig::cambricon_l());
+    let speed = sys.decode_speed(&zoo::llama2_70b(), SEQ);
+    assert!((2.4..5.0).contains(&speed), "{speed:.2} tok/s");
+}
+
+#[test]
+fn headline_7b_speed_on_cambricon_l() {
+    // Abstract: "7B LLMs at a speed of 36.34 token/s".
+    let mut sys = System::new(SystemConfig::cambricon_l());
+    let speed = sys.decode_speed(&zoo::opt_6_7b(), SEQ);
+    assert!((24.0..48.0).contains(&speed), "{speed:.2} tok/s");
+}
+
+#[test]
+fn headline_speedup_over_flash_offloading() {
+    // Abstract: "over 22× to 45× faster than existing flash-offloading
+    // technologies" (Cam-L vs FlexGen-SSD).
+    let mut l = System::new(SystemConfig::cambricon_l());
+    for model in zoo::opt_family() {
+        let ours = l.decode_speed(&model, SEQ);
+        let ssd = FlexGen::ssd().decode_speed(&model, SEQ).unwrap();
+        let speedup = ours / ssd;
+        assert!(
+            (15.0..60.0).contains(&speedup),
+            "{}: {speedup:.1}x",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn cam_m_comparable_to_flexgen_dram() {
+    // §VIII-A: "Cambricon-LLM-M achieved a speed comparable to
+    // Flexgen-DRAM across various tasks".
+    let mut m = System::new(SystemConfig::cambricon_m());
+    for model in zoo::opt_family() {
+        let ours = m.decode_speed(&model, SEQ);
+        let dram = FlexGen::dram().decode_speed(&model, SEQ).unwrap();
+        let ratio = ours / dram;
+        assert!((1.0..8.0).contains(&ratio), "{}: {ratio:.2}", model.name);
+    }
+}
+
+#[test]
+fn cam_s_beats_flexgen_ssd_on_opt67() {
+    // §VIII-A's prose says "8.9×", but Figure 9(a)'s own bars
+    // (3.56 vs 0.8 tok/s) give 4.45× — we test against the figure.
+    let mut s = System::new(SystemConfig::cambricon_s());
+    let ours = s.decode_speed(&zoo::opt_6_7b(), SEQ);
+    let ssd = FlexGen::ssd().decode_speed(&zoo::opt_6_7b(), SEQ).unwrap();
+    let x = ours / ssd;
+    assert!((3.2..7.0).contains(&x), "{x:.1}x");
+}
+
+#[test]
+fn system_ordering_s_m_l() {
+    for model in [zoo::opt_6_7b(), zoo::llama2_70b()] {
+        let mut s = System::new(SystemConfig::cambricon_s());
+        let mut m = System::new(SystemConfig::cambricon_m());
+        let mut l = System::new(SystemConfig::cambricon_l());
+        let (a, b, c) = (
+            s.decode_speed(&model, SEQ),
+            m.decode_speed(&model, SEQ),
+            l.decode_speed(&model, SEQ),
+        );
+        assert!(a < b && b < c, "{}: {a:.2} {b:.2} {c:.2}", model.name);
+    }
+}
+
+#[test]
+fn mlc_llm_oom_above_7b_but_beats_cam_s_on_7b() {
+    // Figure 9(b): MLC-LLM (4-bit) reaches 7.58 tok/s on Llama2-7B —
+    // faster than Cam-S at 8-bit — but OOMs on 13B/70B, which
+    // Cambricon-LLM serves fine.
+    let mlc7 = MlcLlm::default().decode_speed(&zoo::llama2_7b()).unwrap();
+    let mut s = System::new(SystemConfig::cambricon_s());
+    let cam7 = s.decode_speed(&zoo::llama2_7b(), SEQ);
+    assert!(mlc7 > cam7, "{mlc7} vs {cam7}");
+    assert!(MlcLlm::default().decode_speed(&zoo::llama2_70b()).is_err());
+    let mut l = System::new(SystemConfig::cambricon_l());
+    assert!(l.decode_speed(&zoo::llama2_70b(), SEQ) > 1.0);
+}
+
+#[test]
+fn w4a16_matches_mlc_on_7b() {
+    // §VIII-A: "employing 4-bit quantization in Cambricon-LLM-S as well
+    // could improve the inference speed to match the MLC-LLM".
+    let mut s4 = System::new(SystemConfig::cambricon_s().with_quant(Quant::W4A16));
+    let cam = s4.decode_speed(&zoo::llama2_7b(), SEQ);
+    let mlc = MlcLlm::default().decode_speed(&zoo::llama2_7b()).unwrap();
+    assert!(cam / mlc > 0.6, "{cam:.2} vs {mlc:.2}");
+}
+
+#[test]
+fn interactive_threshold_for_70b() {
+    // Intro: real-time interactive applications need 3–10 tok/s; the
+    // whole point is that Cam-L clears it for 70B.
+    let mut l = System::new(SystemConfig::cambricon_l());
+    assert!(l.decode_speed(&zoo::llama2_70b(), SEQ) >= 3.0);
+    // ...and flash offloading is ~50× short of it.
+    assert!(FlexGen::ssd().decode_speed(&zoo::opt_66b(), SEQ).unwrap() < 0.3);
+}
+
+#[test]
+fn fig16_transfer_reduction_band() {
+    // Figure 16(a): Cam-S moves 9.7×–11.6× less data than FlexGen-SSD.
+    let mut s = System::new(SystemConfig::cambricon_s());
+    for model in [zoo::opt_6_7b(), zoo::opt_30b()] {
+        let rep = s.decode_token(&model, SEQ);
+        let cam = rep.traffic.transferred_bytes() as f64;
+        let flex = (3 * model.weight_bytes(8) + rep.traffic.dram_bytes) as f64;
+        let reduction = flex / cam;
+        assert!((6.0..14.0).contains(&reduction), "{}: {reduction:.1}", model.name);
+    }
+}
+
+#[test]
+fn energy_ratio_band() {
+    // Figure 16(b): Cam-S uses ~67% of FlexGen-SSD's per-token energy.
+    let em = EnergyModel::calibrated();
+    let mut s = System::new(SystemConfig::cambricon_s());
+    let model = zoo::opt_13b();
+    let rep = s.decode_token(&model, SEQ);
+    let cam = em.cambricon_token_j(&rep.traffic);
+    let flex = em.flexgen_ssd_token_j(
+        model.weight_bytes(8),
+        rep.traffic.dram_bytes,
+        2 * model.param_count(),
+    );
+    let ratio = cam / flex;
+    assert!((0.4..0.9).contains(&ratio), "{ratio:.2}");
+}

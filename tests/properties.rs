@@ -1,0 +1,158 @@
+//! Property-based integration tests (proptest) over the core invariants.
+
+use cambricon_llm_repro::prelude::*;
+use flash_sim::{ChannelEngine, ChannelWorkload, EngineConfig};
+use outlier_ecc::measure;
+use proptest::prelude::*;
+use tiling::{plan_gemv, AlphaInputs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every GeMV plan covers its matrix exactly, for arbitrary sizes.
+    #[test]
+    fn plan_always_covers_matrix(
+        rows in 1usize..40_000,
+        cols in 1usize..40_000,
+        strat in prop_oneof![
+            Just(Strategy::HardwareAware),
+            Just(Strategy::FlashOnly),
+            Just(Strategy::NpuOnly)
+        ],
+    ) {
+        let inp = AlphaInputs::paper(Topology::cambricon_s());
+        let plan = plan_gemv(&inp, rows, cols, strat, None);
+        prop_assert_eq!(plan.flash_params + plan.npu_params,
+            rows as u64 * cols as u64);
+        prop_assert!(plan.alpha_achieved >= 0.0 && plan.alpha_achieved <= 1.0);
+        // NPU pages must hold the NPU share.
+        let pp = 16 * 1024u64;
+        prop_assert!(plan.read_pages_total as u64 * pp >= plan.npu_params);
+    }
+
+    /// The flash engine always terminates, moves exactly the requested
+    /// bytes, and reports utilization in [0, 1].
+    #[test]
+    fn engine_conservation(
+        rc in 0usize..40,
+        reads in 0usize..60,
+        input_bytes in 16u64..2048,
+        result_bytes in 8u64..256,
+    ) {
+        let cfg = EngineConfig::paper(Topology::cambricon_s());
+        let wl = ChannelWorkload {
+            rc_rounds: rc,
+            rc_input_bytes: input_bytes,
+            rc_result_bytes_per_core: result_bytes,
+            ops_per_page: 32768,
+            read_pages: reads,
+        };
+        let rep = ChannelEngine::new(cfg, wl).run();
+        prop_assert_eq!(rep.rc_rounds_done, rc);
+        prop_assert_eq!(rep.read_pages_done, reads);
+        prop_assert_eq!(rep.read_bytes, reads as u64 * 16 * 1024);
+        prop_assert_eq!(rep.control_bytes, wl.control_bytes(4));
+        prop_assert!(rep.utilization >= 0.0 && rep.utilization <= 1.0);
+        prop_assert!(rep.finish >= rep.bus_busy);
+    }
+
+    /// More work never finishes meaningfully earlier. Event-driven
+    /// schedulers exhibit Graham-style anomalies: extra read chunks can
+    /// re-order bus arbitration and shift the last control transfer by
+    /// a fraction of a percent, so the bound allows 2% slack — while
+    /// bus busy time (real work) must be strictly monotone.
+    #[test]
+    fn engine_monotone_in_reads(rc in 1usize..25, reads in 0usize..40) {
+        let cfg = EngineConfig::paper(Topology::cambricon_s());
+        let mk = |r: usize| ChannelWorkload {
+            rc_rounds: rc,
+            rc_input_bytes: 256,
+            rc_result_bytes_per_core: 64,
+            ops_per_page: 32768,
+            read_pages: r,
+        };
+        let a = ChannelEngine::new(cfg, mk(reads)).run();
+        let b = ChannelEngine::new(cfg, mk(reads + 8)).run();
+        prop_assert!(
+            b.finish.as_picos() as f64 >= a.finish.as_picos() as f64 * 0.98,
+            "{} vs {}", b.finish, a.finish
+        );
+        prop_assert!(b.bus_busy > a.bus_busy);
+    }
+
+    /// ECC round-trip is the identity on uncorrupted pages, for random
+    /// weight content.
+    #[test]
+    fn ecc_clean_roundtrip(seed in 0u64..5000) {
+        let codec = PageCodec {
+            elems: 4096,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: 512,
+        };
+        let weights = accuracy_lab::surrogate::llm_like_page(4096, seed);
+        let page = codec.encode(&weights);
+        let decoded = codec.decode(&page);
+        prop_assert_eq!(&decoded, &weights);
+        let r = measure(&weights, &decoded, &codec);
+        prop_assert_eq!(r.changed, 0);
+    }
+
+    /// Under any single data-byte corruption the decoder never *worsens*
+    /// an outlier and never leaves a value above the threshold
+    /// unprotected.
+    #[test]
+    fn ecc_single_corruption_invariants(
+        seed in 0u64..2000,
+        victim in 0usize..4096,
+        flip_bit in 0u32..8,
+    ) {
+        let codec = PageCodec {
+            elems: 4096,
+            protect_fraction: 0.01,
+            value_copies: 2,
+            spare_bytes: 512,
+        };
+        let weights = accuracy_lab::surrogate::llm_like_page(4096, seed);
+        let mut page = codec.encode(&weights);
+        page.data[victim] = (page.data[victim] as u8 ^ (1 << flip_bit)) as i8;
+        let decoded = codec.decode(&page);
+        // Everything except possibly the victim is untouched.
+        for i in 0..4096 {
+            if i != victim {
+                prop_assert_eq!(decoded[i], weights[i], "collateral at {}", i);
+            }
+        }
+        // The victim is either restored, unchanged-but-small, or clamped
+        // to zero — never a *new* large magnitude.
+        let out = decoded[victim];
+        let orig_mag = weights[victim].unsigned_abs();
+        let out_mag = out.unsigned_abs();
+        prop_assert!(
+            out == weights[victim] || out == 0 || out_mag <= orig_mag.max(127 - 1),
+        );
+    }
+
+    /// Decode latency decreases (speed increases) monotonically with
+    /// channel count, arbitrary small topologies.
+    #[test]
+    fn speed_monotone_in_channels(ch_exp in 0u32..5) {
+        let ch = 1usize << ch_exp;
+        let a = System::new(SystemConfig::custom(ch, 2))
+            .decode_speed(&zoo::opt_6_7b(), 200);
+        let b = System::new(SystemConfig::custom(ch * 2, 2))
+            .decode_speed(&zoo::opt_6_7b(), 200);
+        prop_assert!(b > a, "{} ch {} vs {} ch {}", ch, a, ch * 2, b);
+    }
+
+    /// KV cache sizing is exactly linear and quant-consistent.
+    #[test]
+    fn kv_cache_linearity(seq in 1usize..4000) {
+        let m = zoo::llama2_70b();
+        let one = llm_workload::kv::kv_cache_bytes(&m, Quant::W8A8, 1);
+        let n = llm_workload::kv::kv_cache_bytes(&m, Quant::W8A8, seq);
+        prop_assert_eq!(n, one * seq as u64);
+        let w4 = llm_workload::kv::kv_cache_bytes(&m, Quant::W4A16, seq);
+        prop_assert_eq!(w4, 2 * n);
+    }
+}
