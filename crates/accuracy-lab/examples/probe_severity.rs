@@ -7,6 +7,9 @@ fn main() {
     for ber in [1e-6, 1e-5, 5e-5, 1e-4, 2e-4, 4e-4, 8e-4, 1e-3, 2e-3, 1e-2] {
         let no = severity_at(&c, ber, false, 7);
         let yes = severity_at(&c, ber, true, 7);
-        println!("ber={ber:.0e} no_ecc={no:.5} ecc={yes:.5} gain={:.2}", no / yes.max(1e-12));
+        println!(
+            "ber={ber:.0e} no_ecc={no:.5} ecc={yes:.5} gain={:.2}",
+            no / yes.max(1e-12)
+        );
     }
 }

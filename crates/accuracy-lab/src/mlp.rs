@@ -5,6 +5,8 @@
 //! (per-tensor symmetric INT8, as SmoothQuant produces) → store →
 //! corrupt → correct → evaluate.
 
+#![allow(clippy::needless_range_loop)] // index math mirrors the row-major weight layout
+
 use crate::data::Dataset;
 use sim_core::SplitMix64;
 

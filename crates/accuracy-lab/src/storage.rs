@@ -56,11 +56,7 @@ pub fn stored_accuracy(
         restored.extend_from_slice(&decoded[..chunk.len()]);
     }
 
-    let changed = restored
-        .iter()
-        .zip(&flat)
-        .filter(|(a, b)| a != b)
-        .count();
+    let changed = restored.iter().zip(&flat).filter(|(a, b)| a != b).count();
     let rebuilt = model.with_weights(&restored);
     TrialResult {
         accuracy: rebuilt.accuracy(test),

@@ -117,8 +117,10 @@ pub fn severity_at(codec: &PageCodec, ber: f64, with_ecc: bool, seed: u64) -> f6
     for t in 0..trials {
         for p in 0..pages {
             let mut page = encoded[p].clone();
-            let mut injector =
-                BitFlipModel::new(ber, seed ^ ((t * pages + p) as u64).wrapping_mul(0x2545_F491));
+            let mut injector = BitFlipModel::new(
+                ber,
+                seed ^ ((t * pages + p) as u64).wrapping_mul(0x2545_F491),
+            );
             injector.corrupt_page(&mut page);
             let decoded = if with_ecc {
                 codec.decode(&page)

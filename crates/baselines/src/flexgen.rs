@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn llama_is_unsupported() {
-        let err = FlexGen::ssd().decode_speed(&zoo::llama2_7b(), 100).unwrap_err();
+        let err = FlexGen::ssd()
+            .decode_speed(&zoo::llama2_7b(), 100)
+            .unwrap_err();
         assert!(matches!(err, BaselineError::UnsupportedModel { .. }));
         assert!(err.to_string().contains("FlexGen"));
     }

@@ -75,7 +75,9 @@ mod tests {
         for m in [zoo::llama2_13b(), zoo::llama2_70b()] {
             let err = MlcLlm::default().decode_speed(&m).unwrap_err();
             match err {
-                BaselineError::OutOfMemory { needed, capacity, .. } => {
+                BaselineError::OutOfMemory {
+                    needed, capacity, ..
+                } => {
                     assert!(needed > capacity);
                 }
                 other => panic!("expected OOM, got {other}"),

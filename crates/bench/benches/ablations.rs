@@ -1,8 +1,8 @@
 //! Ablation benches — Figures 12 (slice), 13 (tile size), 14 (tiling)
 //! and 15 (scalability).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cambricon_llm::{System, SystemConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llm_workload::zoo;
 use tiling::{Strategy, TileShape};
 
@@ -31,8 +31,20 @@ fn fig13_tiles(c: &mut Criterion) {
     let model = zoo::opt_6_7b();
     let shapes: [(&str, Option<TileShape>); 3] = [
         ("256x2048_ours", None),
-        ("128x4096", Some(TileShape { h_req: 128, w_req: 4096 })),
-        ("4096x128", Some(TileShape { h_req: 4096, w_req: 128 })),
+        (
+            "128x4096",
+            Some(TileShape {
+                h_req: 128,
+                w_req: 4096,
+            }),
+        ),
+        (
+            "4096x128",
+            Some(TileShape {
+                h_req: 4096,
+                w_req: 128,
+            }),
+        ),
     ];
     for (name, shape) in shapes {
         g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, shape| {
@@ -98,5 +110,11 @@ fn fig15_scalability(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig12_slice, fig13_tiles, fig14_tiling, fig15_scalability);
+criterion_group!(
+    benches,
+    fig12_slice,
+    fig13_tiles,
+    fig14_tiling,
+    fig15_scalability
+);
 criterion_main!(benches);

@@ -5,9 +5,9 @@
 //! time of the simulator, while the simulated tokens/s is what `repro
 //! fig9a`/`fig9b` report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use baselines::{FlexGen, MlcLlm};
 use cambricon_llm::{System, SystemConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llm_workload::{zoo, Quant};
 
 fn fig9a_end_to_end(c: &mut Criterion) {

@@ -27,7 +27,13 @@ fn ecc_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("ecc_codec");
     let codec = PageCodec::paper();
     let weights: Vec<i8> = (0..codec.elems)
-        .map(|i| if i % 97 == 0 { 110 } else { (i % 23) as i8 - 11 })
+        .map(|i| {
+            if i % 97 == 0 {
+                110
+            } else {
+                (i % 23) as i8 - 11
+            }
+        })
         .collect();
     g.throughput(Throughput::Bytes(codec.elems as u64));
     g.bench_function("encode_16k_page", |b| b.iter(|| codec.encode(&weights)));

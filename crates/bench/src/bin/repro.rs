@@ -38,32 +38,101 @@ type Gen = Box<dyn Fn() -> TextTable>;
 
 fn catalog(quick: bool) -> Vec<(&'static str, &'static str, Gen)> {
     vec![
-        ("fig1a", "Arithmetic intensity comparison", Box::new(figures::fig1a) as Gen),
-        ("fig1b", "Reduction ratio comparison", Box::new(figures::fig1b)),
-        ("fig3a", "Roofline: smartphone NPU vs Cambricon-LLM", Box::new(figures::fig3a)),
+        (
+            "fig1a",
+            "Arithmetic intensity comparison",
+            Box::new(figures::fig1a) as Gen,
+        ),
+        (
+            "fig1b",
+            "Reduction ratio comparison",
+            Box::new(figures::fig1b),
+        ),
+        (
+            "fig3a",
+            "Roofline: smartphone NPU vs Cambricon-LLM",
+            Box::new(figures::fig3a),
+        ),
         (
             "fig3b",
             "Accuracy vs flash BER without correction",
             Box::new(move || figures::fig3b(quick)),
         ),
-        ("table1", "Storage density of DRAM and NAND flash", Box::new(figures::table1)),
-        ("table2", "Cambricon-LLM configurations", Box::new(figures::table2)),
-        ("table3", "Baseline configurations", Box::new(figures::table3)),
-        ("table4", "Compute-core area and power", Box::new(figures::table4)),
-        ("fig9a", "End-to-end decode speed vs FlexGen (OPT)", Box::new(figures::fig9a)),
-        ("fig9b", "End-to-end decode speed vs MLC-LLM (Llama2)", Box::new(figures::fig9b)),
+        (
+            "table1",
+            "Storage density of DRAM and NAND flash",
+            Box::new(figures::table1),
+        ),
+        (
+            "table2",
+            "Cambricon-LLM configurations",
+            Box::new(figures::table2),
+        ),
+        (
+            "table3",
+            "Baseline configurations",
+            Box::new(figures::table3),
+        ),
+        (
+            "table4",
+            "Compute-core area and power",
+            Box::new(figures::table4),
+        ),
+        (
+            "fig9a",
+            "End-to-end decode speed vs FlexGen (OPT)",
+            Box::new(figures::fig9a),
+        ),
+        (
+            "fig9b",
+            "End-to-end decode speed vs MLC-LLM (Llama2)",
+            Box::new(figures::fig9b),
+        ),
         (
             "fig10",
             "Error-correction accuracy evaluation",
             Box::new(move || figures::fig10(quick)),
         ),
-        ("fig11", "W4A16 vs W8A8 performance", Box::new(figures::fig11)),
-        ("fig12", "Read-request slice ablation", Box::new(figures::fig12)),
+        (
+            "fig11",
+            "W4A16 vs W8A8 performance",
+            Box::new(figures::fig11),
+        ),
+        (
+            "fig12",
+            "Read-request slice ablation",
+            Box::new(figures::fig12),
+        ),
         ("fig13", "Tile-size ablation", Box::new(figures::fig13)),
-        ("fig14", "Hardware-aware tiling ablation", Box::new(figures::fig14)),
-        ("fig15", "Scalability: chips and channels", Box::new(figures::fig15)),
-        ("fig16", "Data transfer and energy vs FlexGen-SSD", Box::new(figures::fig16)),
-        ("table5", "Memory BOM cost for 70B inference", Box::new(figures::table5)),
-        ("prefill", "Prefill/TTFT model (extension)", Box::new(figures::prefill_table)),
+        (
+            "fig14",
+            "Hardware-aware tiling ablation",
+            Box::new(figures::fig14),
+        ),
+        (
+            "fig15",
+            "Scalability: chips and channels",
+            Box::new(figures::fig15),
+        ),
+        (
+            "fig16",
+            "Data transfer and energy vs FlexGen-SSD",
+            Box::new(figures::fig16),
+        ),
+        (
+            "table5",
+            "Memory BOM cost for 70B inference",
+            Box::new(figures::table5),
+        ),
+        (
+            "prefill",
+            "Prefill/TTFT model (extension)",
+            Box::new(figures::prefill_table),
+        ),
+        (
+            "serving",
+            "Multi-request serving study (extension)",
+            Box::new(figures::serving_table),
+        ),
     ]
 }

@@ -11,10 +11,10 @@ use accuracy_lab::surrogate;
 use baselines::{FlexGen, MlcLlm};
 use cambricon_llm::{
     cambricon_bom, cambricon_point, prefill, smartphone_npu_point, table_i, traditional_bom,
-    AreaModel, EnergyModel, Prices, System, SystemConfig,
+    AreaModel, EnergyModel, Prices, SchedulePolicy, ServeEngine, System, SystemConfig,
 };
 use flash_sim::CoreParams;
-use llm_workload::{intensity, kv, zoo, ModelSpec, Quant};
+use llm_workload::{intensity, kv, zoo, ArrivalTrace, ModelSpec, Quant, RequestShape};
 use outlier_ecc::PageCodec;
 use tiling::{Strategy, TileShape};
 
@@ -90,7 +90,12 @@ pub fn fig3b(quick: bool) -> TextTable {
             .iter()
             .map(|task| num(surrogate::accuracy_from_severity(task, damage)))
             .collect();
-        t.row([format!("{ber:.0e}"), accs[0].clone(), accs[1].clone(), accs[2].clone()]);
+        t.row([
+            format!("{ber:.0e}"),
+            accs[0].clone(),
+            accs[1].clone(),
+            accs[2].clone(),
+        ]);
     }
     t
 }
@@ -98,8 +103,17 @@ pub fn fig3b(quick: bool) -> TextTable {
 /// Figure 9(a): end-to-end decode speed vs FlexGen on OPT models.
 pub fn fig9a() -> TextTable {
     let mut t = TextTable::new([
-        "Model", "Cam-S", "(paper)", "Cam-M", "(paper)", "Cam-L", "(paper)", "Flex-SSD",
-        "(paper)", "Flex-DRAM", "(paper)",
+        "Model",
+        "Cam-S",
+        "(paper)",
+        "Cam-M",
+        "(paper)",
+        "Cam-L",
+        "(paper)",
+        "Flex-SSD",
+        "(paper)",
+        "Flex-DRAM",
+        "(paper)",
     ]);
     let mut s = System::new(SystemConfig::cambricon_s());
     let mut m = System::new(SystemConfig::cambricon_m());
@@ -126,8 +140,7 @@ pub fn fig9a() -> TextTable {
 /// Figure 9(b): decode speed vs MLC-LLM on Llama2 models (with OOM).
 pub fn fig9b() -> TextTable {
     let mut t = TextTable::new([
-        "Model", "Cam-S", "(paper)", "Cam-M", "(paper)", "Cam-L", "(paper)", "MLC-LLM",
-        "(paper)",
+        "Model", "Cam-S", "(paper)", "Cam-M", "(paper)", "Cam-L", "(paper)", "MLC-LLM", "(paper)",
     ]);
     let mut s = System::new(SystemConfig::cambricon_s());
     let mut m = System::new(SystemConfig::cambricon_m());
@@ -160,13 +173,7 @@ pub fn fig9b() -> TextTable {
 /// Figure 10: accuracy with vs without the error correction mechanism.
 pub fn fig10(quick: bool) -> TextTable {
     let mut t = TextTable::new([
-        "BER",
-        "HS w/o",
-        "HS w/",
-        "ARC w/o",
-        "ARC w/",
-        "WG w/o",
-        "WG w/",
+        "BER", "HS w/o", "HS w/", "ARC w/o", "ARC w/", "WG w/o", "WG w/",
     ]);
     let codec = PageCodec::paper();
     let bers: &[f64] = if quick {
@@ -262,8 +269,14 @@ pub fn fig13() -> TextTable {
     ]);
     let shapes = [
         None,
-        Some(TileShape { h_req: 128, w_req: 4096 }),
-        Some(TileShape { h_req: 4096, w_req: 128 }),
+        Some(TileShape {
+            h_req: 128,
+            w_req: 4096,
+        }),
+        Some(TileShape {
+            h_req: 4096,
+            w_req: 128,
+        }),
     ];
     for (i, model) in all_models().iter().enumerate() {
         let p = paper::FIG13[i];
@@ -327,7 +340,12 @@ pub fn fig14() -> TextTable {
 /// Figure 15: scalability in chips-per-channel and channel count.
 pub fn fig15() -> TextTable {
     let mut t = TextTable::new([
-        "Sweep", "Value", "OPT-6.7B tok/s", "OPT-13B tok/s", "OPT-30B tok/s", "channel usage",
+        "Sweep",
+        "Value",
+        "OPT-6.7B tok/s",
+        "OPT-13B tok/s",
+        "OPT-30B tok/s",
+        "channel usage",
     ]);
     let models = [zoo::opt_6_7b(), zoo::opt_13b(), zoo::opt_30b()];
     // (a)/(c): 8 channels, 1..128 chips per channel.
@@ -374,15 +392,7 @@ pub fn fig15() -> TextTable {
 /// Figure 16: per-token data transfer and energy, Cam-S vs FlexGen-SSD.
 pub fn fig16() -> TextTable {
     let mut t = TextTable::new([
-        "Model",
-        "Cam GB",
-        "(paper)",
-        "Flex GB",
-        "(paper)",
-        "Cam J",
-        "(paper)",
-        "Flex J",
-        "(paper)",
+        "Model", "Cam GB", "(paper)", "Flex GB", "(paper)", "Cam J", "(paper)", "Flex J", "(paper)",
     ]);
     let em = EnergyModel::calibrated();
     for (i, model) in all_models().iter().enumerate() {
@@ -433,8 +443,15 @@ pub fn table1() -> TextTable {
 /// Table II: Cambricon-LLM configurations.
 pub fn table2() -> TextTable {
     let mut t = TextTable::new([
-        "Config", "Channels", "Chips/ch", "Dies/chip", "Planes/die", "Cores/die", "Page",
-        "tR", "Bus",
+        "Config",
+        "Channels",
+        "Chips/ch",
+        "Dies/chip",
+        "Planes/die",
+        "Cores/die",
+        "Page",
+        "tR",
+        "Bus",
     ]);
     for cfg in SystemConfig::paper_variants() {
         let topo = cfg.engine.topology;
@@ -474,9 +491,7 @@ pub fn table3() -> TextTable {
 
 /// Table IV: compute-core area and power.
 pub fn table4() -> TextTable {
-    let mut t = TextTable::new([
-        "Component", "Area um2", "(paper)", "Power uW", "(paper)",
-    ]);
+    let mut t = TextTable::new(["Component", "Area um2", "(paper)", "Power uW", "(paper)"]);
     let rep = AreaModel::default().report(&CoreParams::paper());
     for (i, c) in rep.components.iter().enumerate() {
         let p = paper::TABLE4[i];
@@ -548,13 +563,70 @@ pub fn prefill_table() -> TextTable {
     t
 }
 
+/// Extension: multi-request serving study (not a paper figure).
+///
+/// Closed-loop concurrency ladder on Cambricon-LLM-S serving OPT-6.7B:
+/// aggregate throughput, p50/p99 token latency, and the latency
+/// slowdown vs a single in-flight request. Sub-linear slowdown is the
+/// flash/NPU phase overlap the serving engine exploits; the shared
+/// GeMV cache keeps the whole ladder at one flash simulation per
+/// distinct weight shape.
+pub fn serving_table() -> TextTable {
+    let mut t = TextTable::new([
+        "Clients",
+        "tok/s",
+        "p50 ms/tok",
+        "p99 ms/tok",
+        "Slowdown",
+        "Linear",
+    ]);
+    let engine = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b());
+    let shape = RequestShape::new(SEQ, 4);
+    let mut single = 0.0;
+    for clients in [1usize, 2, 4] {
+        let rep = engine.run(
+            &ArrivalTrace::closed_loop(clients, 1, shape),
+            SchedulePolicy::RoundRobin,
+        );
+        if clients == 1 {
+            single = rep.mean_token_latency_s;
+        }
+        t.row([
+            clients.to_string(),
+            num(rep.tokens_per_sec),
+            num(rep.p50_token_latency_s * 1e3),
+            num(rep.p99_token_latency_s * 1e3),
+            format!("{:.2}x", rep.mean_token_latency_s / single),
+            format!("{clients}.00x"),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn serving_table_shows_sublinear_slowdown() {
+        let t = serving_table();
+        assert_eq!(t.len(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("1.00x"), "{rendered}");
+    }
+
+    #[test]
     fn fast_figures_render() {
-        for t in [fig1a(), fig1b(), fig3a(), table1(), table2(), table3(), table4(), table5()] {
+        for t in [
+            fig1a(),
+            fig1b(),
+            fig3a(),
+            table1(),
+            table2(),
+            table3(),
+            table4(),
+            table5(),
+        ] {
             assert!(!t.is_empty());
             assert!(t.render().lines().count() >= 3);
         }

@@ -1,7 +1,8 @@
 //! # bench — the benchmark harness
 //!
 //! Regenerates every table and figure of the paper's evaluation
-//! (see `DESIGN.md` for the experiment index):
+//! (`cargo run -p bench --bin repro -- list` prints the experiment
+//! index):
 //!
 //! * [`figures`] — one generator per table/figure, each printing an
 //!   "ours vs paper" comparison;

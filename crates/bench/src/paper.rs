@@ -128,10 +128,7 @@ mod tests {
         // from Figure 9(a): Cam-L vs FlexGen-SSD.
         for (name, _, _, l, ssd, _) in FIG9A {
             let speedup = l / ssd;
-            assert!(
-                (6.0..50.0).contains(&speedup),
-                "{name}: {speedup}"
-            );
+            assert!((6.0..50.0).contains(&speedup), "{name}: {speedup}");
         }
         // OPT-6.7B hits the abstract's 45×.
         assert!((FIG9A[0].3 / FIG9A[0].4 - 45.0).abs() < 1.0);

@@ -126,8 +126,16 @@ mod tests {
             rep.total_power_uw
         );
         // Overheads match the paper's 1.2% / 4.5%.
-        assert!((rep.area_overhead - 0.012).abs() < 0.002, "{}", rep.area_overhead);
-        assert!((rep.power_overhead - 0.045).abs() < 0.005, "{}", rep.power_overhead);
+        assert!(
+            (rep.area_overhead - 0.012).abs() < 0.002,
+            "{}",
+            rep.area_overhead
+        );
+        assert!(
+            (rep.power_overhead - 0.045).abs() < 0.005,
+            "{}",
+            rep.power_overhead
+        );
     }
 
     #[test]
@@ -146,7 +154,11 @@ mod tests {
     #[test]
     fn ecu_is_tiny() {
         let rep = AreaModel::default().report(&CoreParams::paper());
-        let ecu = rep.components.iter().find(|c| c.name.contains("Error")).unwrap();
+        let ecu = rep
+            .components
+            .iter()
+            .find(|c| c.name.contains("Error"))
+            .unwrap();
         assert!(ecu.area_um2 / rep.total_area_um2 < 0.02);
         assert!(ecu.power_uw < 1.0);
     }

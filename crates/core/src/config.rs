@@ -125,7 +125,10 @@ mod tests {
             .with_quant(Quant::W4A16)
             .without_read_slice()
             .with_strategy(Strategy::FlashOnly)
-            .with_tile(TileShape { h_req: 128, w_req: 4096 });
+            .with_tile(TileShape {
+                h_req: 128,
+                w_req: 4096,
+            });
         assert_eq!(c.quant, Quant::W4A16);
         assert!(!c.engine.slice.is_sliced());
         assert_eq!(c.strategy, Strategy::FlashOnly);

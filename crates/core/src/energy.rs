@@ -129,7 +129,9 @@ mod tests {
     fn flexgen_dram_cheaper_than_ssd() {
         let em = EnergyModel::calibrated();
         let w = 7_000_000_000u64;
-        assert!(em.flexgen_dram_token_j(w, 1e8 as u64, 1e10 as u64)
-            < em.flexgen_ssd_token_j(w, 1e8 as u64, 1e10 as u64));
+        assert!(
+            em.flexgen_dram_token_j(w, 1e8 as u64, 1e10 as u64)
+                < em.flexgen_ssd_token_j(w, 1e8 as u64, 1e10 as u64)
+        );
     }
 }

@@ -18,7 +18,6 @@
 //! model NPU-share pages as error-free and flash-share pages through
 //! the real codec.
 
-use llm_workload::Quant;
 use outlier_ecc::{BitFlipModel, PageCodec};
 use sim_core::SplitMix64;
 use tiling::{plan_gemv, AlphaInputs, Strategy};
@@ -46,6 +45,7 @@ pub struct FunctionalResult {
 /// # Panics
 ///
 /// Panics if dimensions disagree.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's full parameter list
 pub fn gemv_through_flash(
     inp: &AlphaInputs,
     w: &[i8],
@@ -66,8 +66,7 @@ pub fn gemv_through_flash(
     let plan = plan_gemv(inp, rows, cols, Strategy::HardwareAware, None);
     let pp = tiling::page_params(&inp.topology, inp.weight_bits) as usize;
     let total_pages = (rows * cols).div_ceil(pp);
-    let flash_pages =
-        (plan.flash_params as usize).div_ceil(pp).min(total_pages);
+    let flash_pages = (plan.flash_params as usize).div_ceil(pp).min(total_pages);
 
     let codec = PageCodec {
         elems: pp,
@@ -106,11 +105,7 @@ pub fn gemv_through_flash(
             original.to_vec()
         };
 
-        corrupted += stored
-            .iter()
-            .zip(original)
-            .filter(|(a, b)| a != b)
-            .count();
+        corrupted += stored.iter().zip(original).filter(|(a, b)| a != b).count();
 
         // One page = one atomic tile = one compute core's partial
         // products, accumulated into the shared output.

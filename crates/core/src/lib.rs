@@ -8,6 +8,8 @@
 //! * [`config`] — Table II system configurations (S/M/L + ablations);
 //! * [`system`] — the per-token decode simulator (weight GeMVs on
 //!   flash+NPU via hardware-aware tiling, KV work on NPU/DRAM, SFU ops);
+//! * [`serve`] — the multi-request serving engine (request queue,
+//!   FCFS/round-robin scheduling, fleet-shared GeMV memoization);
 //! * [`energy`] — the Figure 16 data-movement energy model;
 //! * [`cost`] / [`area`] — Tables I/IV/V (BOM cost, compute-core area);
 //! * [`roofline`] — Figures 1(a)/3(a);
@@ -35,6 +37,7 @@ pub mod energy;
 pub mod functional;
 pub mod prefill;
 pub mod roofline;
+pub mod serve;
 pub mod sweep;
 pub mod system;
 pub mod validate;
@@ -46,6 +49,7 @@ pub use energy::EnergyModel;
 pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
 pub use prefill::{prefill, PrefillReport};
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
+pub use serve::{RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport};
 pub use sweep::{smallest_config_reaching, sweep_channels, sweep_chips, SweepPoint};
-pub use system::{System, TokenReport, TrafficBreakdown};
+pub use system::{GemvCache, OpClass, OpCost, System, TokenReport, TrafficBreakdown};
 pub use validate::{cross_check, CrossCheck};

@@ -53,7 +53,9 @@ pub fn prefill(cfg: &SystemConfig, model: &ModelSpec, prompt_tokens: usize) -> P
             DecodeOp::WeightGemv { rows, cols, .. } => {
                 compute += npu.compute_time(2 * *rows as u64 * *cols as u64 * m);
             }
-            DecodeOp::KvMatVec { ops, dram_bytes, .. } => {
+            DecodeOp::KvMatVec {
+                ops, dram_bytes, ..
+            } => {
                 // Attention over the growing prefix ≈ half the full-length
                 // cost per token on average.
                 compute += npu.kv_op_time(ops * m / 2, dram_bytes * m / 2);

@@ -1,8 +1,19 @@
 //! Structured design-space sweeps (Figure 15 and §VIII-E).
+//!
+//! Design points are independent, so sweeps evaluate them in parallel
+//! across a scoped thread pool (rayon-style `par_iter`, but on
+//! `std::thread::scope` because the build environment is offline and
+//! cannot vendor rayon). Each worker claims points off a shared atomic
+//! counter and writes its result into the point's pre-assigned output
+//! slot, so the returned order — and therefore every downstream figure
+//! — is identical to the sequential evaluation, regardless of thread
+//! scheduling.
 
 use crate::config::SystemConfig;
 use crate::system::System;
 use llm_workload::ModelSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,10 +35,8 @@ pub fn sweep_chips(
     chips: &[usize],
     seq_len: usize,
 ) -> Vec<SweepPoint> {
-    chips
-        .iter()
-        .map(|&c| evaluate(model, channels, c, seq_len))
-        .collect()
+    let grid: Vec<(usize, usize)> = chips.iter().map(|&c| (channels, c)).collect();
+    evaluate_grid(model, &grid, seq_len)
 }
 
 /// Sweeps channel count at fixed chips per channel (Figure 15(b)/(d)).
@@ -37,10 +46,11 @@ pub fn sweep_channels(
     chips_per_channel: usize,
     seq_len: usize,
 ) -> Vec<SweepPoint> {
-    channel_counts
+    let grid: Vec<(usize, usize)> = channel_counts
         .iter()
-        .map(|&ch| evaluate(model, ch, chips_per_channel, seq_len))
-        .collect()
+        .map(|&ch| (ch, chips_per_channel))
+        .collect();
+    evaluate_grid(model, &grid, seq_len)
 }
 
 fn evaluate(model: &ModelSpec, channels: usize, chips: usize, seq_len: usize) -> SweepPoint {
@@ -52,6 +62,43 @@ fn evaluate(model: &ModelSpec, channels: usize, chips: usize, seq_len: usize) ->
         tokens_per_sec: rep.tokens_per_sec,
         channel_utilization: rep.channel_utilization,
     }
+}
+
+/// Evaluates every `(channels, chips)` point of `grid` in parallel,
+/// returning results in grid order.
+fn evaluate_grid(model: &ModelSpec, grid: &[(usize, usize)], seq_len: usize) -> Vec<SweepPoint> {
+    if grid.len() <= 1 {
+        return grid
+            .iter()
+            .map(|&(ch, c)| evaluate(model, ch, c, seq_len))
+            .collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(grid.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<SweepPoint>>> = Mutex::new(vec![None; grid.len()]);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(ch, chips)) = grid.get(i) else {
+                    break;
+                };
+                // Simulate outside the lock; only the slot write is
+                // serialized.
+                let point = evaluate(model, ch, chips, seq_len);
+                slots.lock().expect("sweep worker panicked")[i] = Some(point);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep worker panicked")
+        .into_iter()
+        .map(|p| p.expect("every grid slot evaluated"))
+        .collect()
 }
 
 /// Finds the smallest configuration (by total compute cores) in a grid
@@ -69,11 +116,22 @@ pub fn smallest_config_reaching(
         }
     }
     // Ascending by core count so the first hit is the smallest.
+    // Evaluate in parallel waves of one grid-worth of threads each,
+    // stopping at the first wave containing a hit — an easy target
+    // costs one wave, not the full 20-point grid.
     candidates.sort_by_key(|&(ch, chips)| ch * chips);
-    candidates
-        .into_iter()
-        .map(|(ch, chips)| evaluate(model, ch, chips, seq_len))
-        .find(|p| p.tokens_per_sec >= min_tokens_per_sec)
+    let wave = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for chunk in candidates.chunks(wave) {
+        let hit = evaluate_grid(model, chunk, seq_len)
+            .into_iter()
+            .find(|p| p.tokens_per_sec >= min_tokens_per_sec);
+        if hit.is_some() {
+            return hit;
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -103,12 +161,31 @@ mod tests {
         // 3 tok/s for Llama2-70B needs a Cam-L-class device, not Cam-S.
         let p = smallest_config_reaching(&zoo::llama2_70b(), 3.0, 1000).unwrap();
         let cores = p.channels * p.chips_per_channel * 2;
-        assert!(cores > 64, "found {}ch x {}chips", p.channels, p.chips_per_channel);
+        assert!(
+            cores > 64,
+            "found {}ch x {}chips",
+            p.channels,
+            p.chips_per_channel
+        );
         assert!(p.tokens_per_sec >= 3.0);
     }
 
     #[test]
     fn impossible_target_returns_none() {
         assert!(smallest_config_reaching(&zoo::llama2_70b(), 1e9, 100).is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        // The scoped-thread sweep must return the same points in the
+        // same order as one-at-a-time evaluation.
+        let model = zoo::opt_6_7b();
+        let grid: Vec<(usize, usize)> = vec![(4, 2), (8, 1), (8, 4), (16, 2), (2, 8)];
+        let par = evaluate_grid(&model, &grid, 300);
+        let seq: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&(ch, c)| evaluate(&model, ch, c, 300))
+            .collect();
+        assert_eq!(par, seq);
     }
 }

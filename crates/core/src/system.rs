@@ -46,6 +46,16 @@ impl TrafficBreakdown {
     pub fn transferred_bytes(&self) -> u64 {
         self.d2d_bytes + self.dram_bytes
     }
+
+    /// Accumulates another breakdown into this one.
+    pub fn absorb(&mut self, other: &TrafficBreakdown) {
+        self.nand_array_bytes += other.nand_array_bytes;
+        self.in_flash_bytes += other.in_flash_bytes;
+        self.d2d_bytes += other.d2d_bytes;
+        self.dram_bytes += other.dram_bytes;
+        self.npu_ops += other.npu_ops;
+        self.flash_ops += other.flash_ops;
+    }
 }
 
 /// Timing and traffic of one generated token.
@@ -67,13 +77,114 @@ pub struct TokenReport {
     pub traffic: TrafficBreakdown,
 }
 
+/// Memoized GeMV simulations: shape → (plan, device report).
+///
+/// Layers share identical GeMV shapes within a token, tokens share them
+/// across a request, and concurrent requests of the same model share
+/// them across the fleet — so each distinct shape is simulated through
+/// the discrete-event flash device exactly once per [`System`]. The
+/// hit/miss counters surface that sharing in serving reports.
+#[derive(Debug, Clone, Default)]
+pub struct GemvCache {
+    entries: Vec<((usize, usize), GemvPlan, DeviceReport)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GemvCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct shapes simulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no shapes have been simulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from memory (shape already simulated).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the flash discrete-event simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn lookup(&mut self, rows: usize, cols: usize) -> Option<(GemvPlan, DeviceReport)> {
+        match self
+            .entries
+            .iter()
+            .find(|((r, c), _, _)| *r == rows && *c == cols)
+        {
+            Some((_, plan, rep)) => {
+                self.hits += 1;
+                Some((*plan, *rep))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, rows: usize, cols: usize, plan: GemvPlan, rep: DeviceReport) {
+        self.entries.push(((rows, cols), plan, rep));
+    }
+}
+
+/// Which serially-exclusive hardware resource a [`DecodeOp`] occupies.
+///
+/// Weight GeMVs occupy the flash device (plus the NPU share consuming
+/// pages as they stream — the co-execution of Figure 5); everything
+/// else runs on the NPU/DRAM side alone. Ops of *different* classes
+/// from *different* requests can overlap, which is what the serving
+/// engine ([`crate::serve`]) exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Flash device + streaming NPU share (weight GeMVs).
+    Flash,
+    /// NPU compute / SFU / DRAM (KV work, special functions, appends).
+    Npu,
+}
+
+impl OpClass {
+    /// The resource `op` occupies. Pure classification — use
+    /// [`System::op_cost`] when the latency is also needed.
+    pub fn of(op: &DecodeOp) -> OpClass {
+        match op {
+            DecodeOp::WeightGemv { .. } => OpClass::Flash,
+            _ => OpClass::Npu,
+        }
+    }
+}
+
+/// Latency and accounting of one decode op, as priced by [`System::op_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Time the op occupies its resource.
+    pub latency: SimTime,
+    /// Resource the op occupies.
+    pub class: OpClass,
+    /// Byte/op traffic contributed by the op.
+    pub traffic: TrafficBreakdown,
+    /// Mean flash-channel utilization while the op runs (GeMVs only,
+    /// zero otherwise).
+    pub channel_utilization: f64,
+}
+
 /// The system: configuration plus lazily simulated GeMV latencies.
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
     npu: NpuModel,
-    /// Memoized per-shape results: (rows, cols) → (plan, device report).
-    gemv_cache: Vec<((usize, usize), GemvPlan, DeviceReport)>,
+    gemv_cache: GemvCache,
 }
 
 impl System {
@@ -82,7 +193,7 @@ impl System {
         System {
             npu: NpuModel::new(cfg.npu),
             cfg,
-            gemv_cache: Vec::new(),
+            gemv_cache: GemvCache::new(),
         }
     }
 
@@ -91,14 +202,15 @@ impl System {
         &self.cfg
     }
 
+    /// The memoized GeMV simulations accumulated so far.
+    pub fn gemv_cache(&self) -> &GemvCache {
+        &self.gemv_cache
+    }
+
     /// Simulates (or recalls) one weight GeMV of shape `rows × cols`.
     fn gemv(&mut self, rows: usize, cols: usize) -> (GemvPlan, DeviceReport) {
-        if let Some((_, plan, rep)) = self
-            .gemv_cache
-            .iter()
-            .find(|((r, c), _, _)| *r == rows && *c == cols)
-        {
-            return (*plan, *rep);
+        if let Some(hit) = self.gemv_cache.lookup(rows, cols) {
+            return hit;
         }
         // With very many compute cores a single full-device tile can
         // exceed the whole matrix (Figure 15: "many [chips] remained
@@ -123,15 +235,74 @@ impl System {
         let plan = plan_gemv(&inp, rows, cols, self.cfg.strategy, self.cfg.tile_override);
         let device = FlashDevice::new(engine);
         let rep = device.run_per_channel(&plan.channel_workloads(&inp));
-        self.gemv_cache.push(((rows, cols), plan, rep));
+        self.gemv_cache.insert(rows, cols, plan, rep);
         (plan, rep)
+    }
+
+    /// Prices one decode op: its latency, the resource it occupies, and
+    /// its traffic contribution. This is the per-op stepping API the
+    /// serving engine ([`crate::serve`]) schedules with; [`decode_token`]
+    /// is the strictly-sequential sum of these costs.
+    ///
+    /// [`decode_token`]: System::decode_token
+    pub fn op_cost(&mut self, op: &DecodeOp) -> OpCost {
+        let quant = self.cfg.quant;
+        let mut traffic = TrafficBreakdown::default();
+        match op {
+            DecodeOp::WeightGemv { rows, cols, .. } => {
+                let (plan, rep) = self.gemv(*rows, *cols);
+                // The NPU consumes its share as pages stream in; its
+                // compute time only matters if it exceeds the
+                // transfer window (it never does at 2 TOPS, but the
+                // roofline keeps the model honest).
+                let npu_ops = 2 * plan.npu_params;
+                let latency = rep.finish.max(self.npu.compute_time(npu_ops));
+                traffic.nand_array_bytes += quant.weight_bytes(plan.total_params());
+                traffic.in_flash_bytes += quant.weight_bytes(plan.flash_params);
+                traffic.d2d_bytes += rep.bytes_to_npu + rep.bytes_from_npu;
+                traffic.npu_ops += npu_ops;
+                traffic.flash_ops += 2 * plan.flash_params;
+                OpCost {
+                    latency,
+                    class: OpClass::Flash,
+                    traffic,
+                    channel_utilization: rep.mean_utilization,
+                }
+            }
+            DecodeOp::KvMatVec {
+                dram_bytes, ops, ..
+            } => {
+                traffic.dram_bytes += dram_bytes;
+                traffic.npu_ops += ops;
+                OpCost {
+                    latency: self.npu.kv_op_time(*ops, *dram_bytes),
+                    class: OpClass::Npu,
+                    traffic,
+                    channel_utilization: 0.0,
+                }
+            }
+            DecodeOp::Special { elems, .. } => OpCost {
+                latency: self.npu.sfu_time(*elems),
+                class: OpClass::Npu,
+                traffic,
+                channel_utilization: 0.0,
+            },
+            DecodeOp::KvAppend { bytes } => {
+                traffic.dram_bytes += bytes;
+                OpCost {
+                    latency: self.npu.dram_write_time(*bytes),
+                    class: OpClass::Npu,
+                    traffic,
+                    channel_utilization: 0.0,
+                }
+            }
+        }
     }
 
     /// Simulates one decode step (token generation) at context length
     /// `seq_len`.
     pub fn decode_token(&mut self, model: &ModelSpec, seq_len: usize) -> TokenReport {
         let step = decode_step(model, self.cfg.quant, seq_len);
-        let quant = self.cfg.quant;
         let mut total = SimTime::ZERO;
         let mut gemv_t = SimTime::ZERO;
         let mut kv_t = SimTime::ZERO;
@@ -140,44 +311,17 @@ impl System {
         let mut util_weighted = 0.0f64;
 
         for op in &step.ops {
+            let cost = self.op_cost(op);
+            total += cost.latency;
             match op {
-                DecodeOp::WeightGemv { rows, cols, .. } => {
-                    let (plan, rep) = self.gemv(*rows, *cols);
-                    // The NPU consumes its share as pages stream in; its
-                    // compute time only matters if it exceeds the
-                    // transfer window (it never does at 2 TOPS, but the
-                    // roofline keeps the model honest).
-                    let npu_ops = 2 * plan.npu_params;
-                    let t = rep.finish.max(self.npu.compute_time(npu_ops));
-                    total += t;
-                    gemv_t += t;
-                    util_weighted += rep.mean_utilization * t.as_secs_f64();
-                    let weight_bytes = quant.weight_bytes(plan.total_params());
-                    traffic.nand_array_bytes += weight_bytes;
-                    traffic.in_flash_bytes += quant.weight_bytes(plan.flash_params);
-                    traffic.d2d_bytes += rep.bytes_to_npu + rep.bytes_from_npu;
-                    traffic.npu_ops += npu_ops;
-                    traffic.flash_ops += 2 * plan.flash_params;
+                DecodeOp::WeightGemv { .. } => {
+                    gemv_t += cost.latency;
+                    util_weighted += cost.channel_utilization * cost.latency.as_secs_f64();
                 }
-                DecodeOp::KvMatVec { dram_bytes, ops, .. } => {
-                    let t = self.npu.kv_op_time(*ops, *dram_bytes);
-                    total += t;
-                    kv_t += t;
-                    traffic.dram_bytes += dram_bytes;
-                    traffic.npu_ops += ops;
-                }
-                DecodeOp::Special { elems, .. } => {
-                    let t = self.npu.sfu_time(*elems);
-                    total += t;
-                    sfu_t += t;
-                }
-                DecodeOp::KvAppend { bytes } => {
-                    let t = self.npu.dram_write_time(*bytes);
-                    total += t;
-                    kv_t += t;
-                    traffic.dram_bytes += bytes;
-                }
+                DecodeOp::KvMatVec { .. } | DecodeOp::KvAppend { .. } => kv_t += cost.latency,
+                DecodeOp::Special { .. } => sfu_t += cost.latency,
             }
+            traffic.absorb(&cost.traffic);
         }
 
         TokenReport {
@@ -308,10 +452,13 @@ mod tests {
     fn flash_only_has_tiny_utilization() {
         // Figure 14(b): without tiling, channel usage collapses to ~3%.
         let model = zoo::opt_6_7b();
-        let mut sys =
-            System::new(SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly));
+        let mut sys = System::new(SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly));
         let rep = sys.decode_token(&model, 1000);
-        assert!(rep.channel_utilization < 0.10, "{}", rep.channel_utilization);
+        assert!(
+            rep.channel_utilization < 0.10,
+            "{}",
+            rep.channel_utilization
+        );
     }
 
     #[test]
@@ -321,8 +468,7 @@ mod tests {
         let rep = sys.decode_token(&model, 1000);
         let t = rep.traffic;
         // All weights are read from NAND exactly once per token.
-        let expect_weights: u64 = decode_step(&model, Quant::W8A8, 1000)
-            .total_weight_bytes();
+        let expect_weights: u64 = decode_step(&model, Quant::W8A8, 1000).total_weight_bytes();
         assert_eq!(t.nand_array_bytes, expect_weights);
         // In-flash share is large but below total.
         assert!(t.in_flash_bytes > expect_weights / 3);

@@ -90,8 +90,12 @@ mod tests {
         let cfg = SystemConfig::cambricon_s();
         let short = cross_check(&cfg, 20);
         let long = cross_check(&cfg, 800);
-        assert!(long.relative_error <= short.relative_error + 0.02,
-            "short {} long {}", short.relative_error, long.relative_error);
+        assert!(
+            long.relative_error <= short.relative_error + 0.02,
+            "short {} long {}",
+            short.relative_error,
+            long.relative_error
+        );
     }
 
     #[test]

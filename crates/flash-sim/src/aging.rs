@@ -108,13 +108,19 @@ mod tests {
         let m = BerModel::default();
         let mut last = 0.0;
         for days in [1.0, 10.0, 100.0, 365.0] {
-            let b = m.rber(&FlashAge { pe_cycles: 500, retention_days: days });
+            let b = m.rber(&FlashAge {
+                pe_cycles: 500,
+                retention_days: days,
+            });
             assert!(b > last);
             last = b;
         }
         let mut last = 0.0;
         for pe in [0u32, 500, 1500, 3000] {
-            let b = m.rber(&FlashAge { pe_cycles: pe, retention_days: 30.0 });
+            let b = m.rber(&FlashAge {
+                pe_cycles: pe,
+                retention_days: 30.0,
+            });
             assert!(b > last);
             last = b;
         }
@@ -126,7 +132,10 @@ mod tests {
             k_ret_per_day: 1.0,
             ..BerModel::default()
         };
-        let b = m.rber(&FlashAge { pe_cycles: 3000, retention_days: 10_000.0 });
+        let b = m.rber(&FlashAge {
+            pe_cycles: 3000,
+            retention_days: 10_000.0,
+        });
         assert_eq!(b, 0.5);
     }
 
@@ -135,7 +144,10 @@ mod tests {
         let m = BerModel::default();
         let pe = 1000;
         let days = m.days_until(pe, 1e-3).unwrap();
-        let check = m.rber(&FlashAge { pe_cycles: pe, retention_days: days });
+        let check = m.rber(&FlashAge {
+            pe_cycles: pe,
+            retention_days: days,
+        });
         assert!((check - 1e-3).abs() / 1e-3 < 0.01, "{check}");
         assert!(m.days_until(pe, 1e-6).is_none());
     }

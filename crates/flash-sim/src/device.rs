@@ -56,8 +56,7 @@ impl FlashDevice {
             self.cfg.topology.channels,
             "need one workload per channel"
         );
-        let mut pairs: Vec<(ChannelWorkload, ChannelReport)> =
-            Vec::with_capacity(workloads.len());
+        let mut pairs: Vec<(ChannelWorkload, ChannelReport)> = Vec::with_capacity(workloads.len());
         let mut memo: Vec<(ChannelWorkload, ChannelReport)> = Vec::new();
         for wl in workloads {
             let rep = if let Some((_, rep)) = memo.iter().find(|(w, _)| w == wl) {

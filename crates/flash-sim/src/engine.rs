@@ -147,18 +147,19 @@ impl ChannelEngine {
         cfg.topology.validate().expect("invalid topology");
         assert!(cfg.input_prefetch >= 1, "input_prefetch must be >= 1");
         let dies_n = cfg.topology.dies_per_channel();
-        let mut out_slots = if wl.rc_result_bytes_per_core == 0 {
-            usize::MAX
-        } else {
-            let slots = cfg.core.output_buf_bytes as u64 / wl.rc_result_bytes_per_core;
-            assert!(
-                slots >= 1,
-                "output buffer {}B cannot hold one {}B result",
-                cfg.core.output_buf_bytes,
-                wl.rc_result_bytes_per_core
-            );
-            slots.min(64) as usize
-        };
+        let mut out_slots =
+            match (cfg.core.output_buf_bytes as u64).checked_div(wl.rc_result_bytes_per_core) {
+                None => usize::MAX,
+                Some(slots) => {
+                    assert!(
+                        slots >= 1,
+                        "output buffer {}B cannot hold one {}B result",
+                        cfg.core.output_buf_bytes,
+                        wl.rc_result_bytes_per_core
+                    );
+                    slots.min(64) as usize
+                }
+            };
         let mut cfg = cfg;
         if !cfg.slice.is_sliced() {
             // The unsliced baseline models the conventional controller of
@@ -433,10 +434,7 @@ impl ChannelEngine {
             }
             // Round-robin a read chunk from dies with active transfers.
             let n = self.dies.len();
-            let chunk = self
-                .cfg
-                .slice
-                .chunk_bytes(self.cfg.topology.page_bytes) as u64;
+            let chunk = self.cfg.slice.chunk_bytes(self.cfg.topology.page_bytes) as u64;
             for k in 0..n {
                 let die = (self.read_rr + k) % n;
                 let d = &mut self.dies[die];
@@ -465,9 +463,7 @@ impl ChannelEngine {
             // to input broadcasts and read(-chunk) transactions.
             let dur = match x {
                 Xfer::RcInput { .. } => self.cfg.timing.bus_occupancy(self.wl.rc_input_bytes),
-                Xfer::RcResult { .. } => {
-                    self.cfg.timing.xfer(self.wl.rc_result_bytes_per_core)
-                }
+                Xfer::RcResult { .. } => self.cfg.timing.xfer(self.wl.rc_result_bytes_per_core),
                 Xfer::ReadChunk { bytes, .. } => self.cfg.timing.bus_occupancy(bytes),
             };
             self.bus_inflight = Some((x, now));
@@ -553,10 +549,7 @@ mod tests {
         cfg.slice = SlicePolicy::Unsliced;
         let unsliced = ChannelEngine::new(cfg, s_workload(150, 255)).run();
         let slowdown = unsliced.finish.as_secs_f64() / sliced.finish.as_secs_f64();
-        assert!(
-            slowdown > 1.2,
-            "expected unsliced slowdown, got {slowdown}"
-        );
+        assert!(slowdown > 1.2, "expected unsliced slowdown, got {slowdown}");
         assert!(
             unsliced.utilization < sliced.utilization,
             "unsliced {} vs sliced {}",

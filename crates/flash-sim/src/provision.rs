@@ -67,8 +67,7 @@ pub fn bulk_load(topo: &Topology, timing: &Timing, bytes: u64) -> ProvisionRepor
     // overhead) and program in parallel across dies/planes.
     let pages_per_channel = pages.div_ceil(channels);
     let bus_per_page = timing.bus_occupancy(page).as_secs_f64();
-    let prog_rate_pages =
-        dies_per_channel as f64 * planes as f64 / timing.t_prog.as_secs_f64();
+    let prog_rate_pages = dies_per_channel as f64 * planes as f64 / timing.t_prog.as_secs_f64();
     let bus_rate_pages = 1.0 / bus_per_page;
     let program_bound = prog_rate_pages < bus_rate_pages;
     let rate = prog_rate_pages.min(bus_rate_pages);
@@ -93,11 +92,7 @@ mod tests {
         // 69 GB onto Cambricon-LLM-S: 32 dies × 2 planes × 16 KB/600 µs
         // ≈ 1.7 GB/s program rate vs 8 GB/s of channels → program-bound,
         // roughly 40–90 s.
-        let r = bulk_load(
-            &Topology::cambricon_s(),
-            &Timing::paper(),
-            69_000_000_000,
-        );
+        let r = bulk_load(&Topology::cambricon_s(), &Timing::paper(), 69_000_000_000);
         assert!(r.program_bound);
         let secs = r.total.as_secs_f64();
         assert!((20.0..200.0).contains(&secs), "{secs}");
@@ -124,7 +119,11 @@ mod tests {
         // Read-side consumption on Cam-S is ~24 GB/s (decode), write
         // side must be well under a tenth of that.
         let r = bulk_load(&Topology::cambricon_s(), &Timing::paper(), 1 << 34);
-        assert!(r.effective_bytes_per_sec < 3e9, "{}", r.effective_bytes_per_sec);
+        assert!(
+            r.effective_bytes_per_sec < 3e9,
+            "{}",
+            r.effective_bytes_per_sec
+        );
     }
 
     #[test]

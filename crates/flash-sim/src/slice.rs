@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn oversized_slice_clamps_to_page() {
-        let p = SlicePolicy::Sliced { slice_bytes: 1 << 20 };
+        let p = SlicePolicy::Sliced {
+            slice_bytes: 1 << 20,
+        };
         assert_eq!(p.chunk_bytes(16384), 16384);
         assert_eq!(p.chunks_per_page(16384), 1);
     }

@@ -127,8 +127,7 @@ impl RequestModel {
     /// (paper Eq. for tr).
     pub fn t_r_read(&self, topo: &Topology, timing: &Timing) -> SimTime {
         let leftover = (1.0 - self.rate_rc(topo, timing)).max(1e-9);
-        let secs =
-            topo.page_bytes as f64 / (leftover * timing.channel_bytes_per_sec as f64);
+        let secs = topo.page_bytes as f64 / (leftover * timing.channel_bytes_per_sec as f64);
         SimTime::from_secs_f64(secs)
     }
 

@@ -32,7 +32,12 @@ impl ChannelWorkload {
     /// A workload with only read-compute traffic (the "without
     /// hardware-aware tiling" ablation of Figure 14 — flash does all
     /// GeMV work, nothing is offloaded to the NPU).
-    pub fn rc_only(rc_rounds: usize, input_bytes: u64, result_bytes_per_core: u64, ops_per_page: u64) -> Self {
+    pub fn rc_only(
+        rc_rounds: usize,
+        input_bytes: u64,
+        result_bytes_per_core: u64,
+        ops_per_page: u64,
+    ) -> Self {
         ChannelWorkload {
             rc_rounds,
             rc_input_bytes: input_bytes,
@@ -62,8 +67,7 @@ impl ChannelWorkload {
     /// Total control-transfer bytes (inputs broadcast + results) this
     /// workload will move over the channel, given `cores` per channel.
     pub fn control_bytes(&self, cores: usize) -> u64 {
-        self.rc_rounds as u64
-            * (self.rc_input_bytes + self.rc_result_bytes_per_core * cores as u64)
+        self.rc_rounds as u64 * (self.rc_input_bytes + self.rc_result_bytes_per_core * cores as u64)
     }
 
     /// Total plain-read bytes moved, given the page size.

@@ -1,8 +1,6 @@
 //! Property tests for the flash discrete-event engine.
 
-use flash_sim::{
-    ChannelEngine, ChannelWorkload, EngineConfig, SlicePolicy, Timing, Topology,
-};
+use flash_sim::{ChannelEngine, ChannelWorkload, EngineConfig, SlicePolicy, Timing, Topology};
 use proptest::prelude::*;
 use sim_core::SimTime;
 

@@ -1,15 +1,24 @@
-//! Batch-size analytics (the §III-A motivation).
+//! Batch-size analytics (the §III-A motivation) and request-arrival
+//! traces for multi-request serving.
 //!
 //! Cloud serving amortizes each weight fetch over a large batch;
-//! personal-agent inference is batch-1 and cannot. This module
-//! quantifies that cliff: arithmetic intensity of the decode phase as a
-//! function of batch size, showing why every prior accelerator point in
-//! Figure 1(a) is irrelevant at the edge and why Cambricon-LLM attacks
-//! the bandwidth side instead of the compute side.
+//! personal-agent inference is batch-1 and cannot. The first half of
+//! this module quantifies that cliff: arithmetic intensity of the
+//! decode phase as a function of batch size, showing why every prior
+//! accelerator point in Figure 1(a) is irrelevant at the edge and why
+//! Cambricon-LLM attacks the bandwidth side instead of the compute side.
+//!
+//! The second half describes *request-level* workloads for the serving
+//! engine (`cambricon_llm::serve`): an [`ArrivalTrace`] is either an
+//! open-loop trace of timed arrivals (Poisson, the standard telecom
+//! model for independent users) or a closed loop of clients that issue
+//! a new request as soon as the previous one completes (the model
+//! behind fixed-concurrency latency measurements).
 
 use crate::ops::decode_step;
 use crate::quant::Quant;
 use crate::spec::ModelSpec;
+use sim_core::{SimTime, SplitMix64};
 
 /// Decode-phase arithmetic intensity at a given batch size.
 ///
@@ -47,10 +56,197 @@ pub fn batch_to_saturate(
     None
 }
 
+/// Decode shape of one serving request: the context it starts from and
+/// how many tokens it generates. (Prefill is modelled separately by
+/// `cambricon_llm::prefill`; the serving engine simulates the decode
+/// phase, which dominates interactive traffic.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestShape {
+    /// Tokens already in the KV cache when decode starts (the prompt).
+    pub prompt_len: usize,
+    /// Tokens to generate.
+    pub new_tokens: usize,
+}
+
+impl RequestShape {
+    /// A shape generating `new_tokens` from a `prompt_len`-token prompt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_tokens` is zero.
+    pub fn new(prompt_len: usize, new_tokens: usize) -> Self {
+        assert!(
+            new_tokens >= 1,
+            "a request must generate at least one token"
+        );
+        RequestShape {
+            prompt_len,
+            new_tokens,
+        }
+    }
+}
+
+/// One timed arrival in an open-loop trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestArrival {
+    /// Virtual time the request enters the queue.
+    pub at: SimTime,
+    /// Decode shape of the request.
+    pub shape: RequestShape,
+}
+
+/// A request-level workload description for the serving engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalTrace {
+    /// Open loop: requests arrive at fixed times regardless of service
+    /// progress (throughput-oriented; queues can grow without bound).
+    Open(Vec<RequestArrival>),
+    /// Closed loop: `clients` users each keep exactly one request in
+    /// flight, issuing the next the instant the previous completes
+    /// (latency-oriented; concurrency is pinned at `clients`).
+    ClosedLoop {
+        /// Concurrent clients.
+        clients: usize,
+        /// Requests each client issues in total.
+        requests_per_client: usize,
+        /// Shape of every request.
+        shape: RequestShape,
+    },
+}
+
+impl ArrivalTrace {
+    /// An open-loop Poisson trace: `n` requests with exponential
+    /// inter-arrival gaps at `rate_per_sec`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not finite and positive.
+    pub fn poisson(rate_per_sec: f64, n: usize, shape: RequestShape, seed: u64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let mut at = SimTime::ZERO;
+        let arrivals = (0..n)
+            .map(|_| {
+                // Inverse-CDF exponential; next_f64 is in [0,1), so
+                // 1-u is in (0,1] and the log is finite.
+                let u = rng.next_f64();
+                let gap = -(1.0 - u).ln() / rate_per_sec;
+                at += SimTime::from_secs_f64(gap);
+                RequestArrival { at, shape }
+            })
+            .collect();
+        ArrivalTrace::Open(arrivals)
+    }
+
+    /// An open-loop trace of `n` simultaneous arrivals at time zero —
+    /// the "burst" pattern used for peak-load and fairness tests.
+    pub fn burst(n: usize, shape: RequestShape) -> Self {
+        ArrivalTrace::Open(
+            (0..n)
+                .map(|_| RequestArrival {
+                    at: SimTime::ZERO,
+                    shape,
+                })
+                .collect(),
+        )
+    }
+
+    /// A closed loop of `clients` clients, `requests_per_client` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `requests_per_client` is zero.
+    pub fn closed_loop(clients: usize, requests_per_client: usize, shape: RequestShape) -> Self {
+        assert!(clients >= 1, "need at least one client");
+        assert!(
+            requests_per_client >= 1,
+            "need at least one request per client"
+        );
+        ArrivalTrace::ClosedLoop {
+            clients,
+            requests_per_client,
+            shape,
+        }
+    }
+
+    /// Total number of requests the trace will issue.
+    pub fn request_count(&self) -> usize {
+        match self {
+            ArrivalTrace::Open(arrivals) => arrivals.len(),
+            ArrivalTrace::ClosedLoop {
+                clients,
+                requests_per_client,
+                ..
+            } => clients * requests_per_client,
+        }
+    }
+
+    /// Total tokens the trace will generate.
+    pub fn total_new_tokens(&self) -> u64 {
+        match self {
+            ArrivalTrace::Open(arrivals) => {
+                arrivals.iter().map(|a| a.shape.new_tokens as u64).sum()
+            }
+            ArrivalTrace::ClosedLoop {
+                clients,
+                requests_per_client,
+                shape,
+            } => (clients * requests_per_client) as u64 * shape.new_tokens as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::zoo;
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_ordered() {
+        let shape = RequestShape::new(128, 16);
+        let a = ArrivalTrace::poisson(2.0, 50, shape, 7);
+        let b = ArrivalTrace::poisson(2.0, 50, shape, 7);
+        assert_eq!(a, b);
+        let ArrivalTrace::Open(arrivals) = &a else {
+            panic!("poisson returns an open trace")
+        };
+        assert_eq!(arrivals.len(), 50);
+        for w in arrivals.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        // Mean inter-arrival gap within 3x of 1/rate (loose: 50 samples).
+        let mean_gap = arrivals.last().unwrap().at.as_secs_f64() / 50.0;
+        assert!((0.15..1.5).contains(&mean_gap), "{mean_gap}");
+    }
+
+    #[test]
+    fn poisson_seed_changes_trace() {
+        let shape = RequestShape::new(128, 16);
+        assert_ne!(
+            ArrivalTrace::poisson(2.0, 20, shape, 1),
+            ArrivalTrace::poisson(2.0, 20, shape, 2)
+        );
+    }
+
+    #[test]
+    fn trace_totals() {
+        let shape = RequestShape::new(100, 8);
+        let t = ArrivalTrace::closed_loop(4, 3, shape);
+        assert_eq!(t.request_count(), 12);
+        assert_eq!(t.total_new_tokens(), 96);
+        let b = ArrivalTrace::burst(5, shape);
+        assert_eq!(b.request_count(), 5);
+        assert_eq!(b.total_new_tokens(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_token_request_panics() {
+        RequestShape::new(10, 0);
+    }
 
     #[test]
     fn batch_one_is_the_paper_number() {

@@ -112,9 +112,7 @@ pub fn min_decode_reduction_ratio(model: &ModelSpec) -> f64 {
     step.ops
         .iter()
         .filter_map(|op| match op {
-            DecodeOp::WeightGemv { rows, cols, .. } => {
-                Some(gemv_reduction_ratio(*rows, *cols))
-            }
+            DecodeOp::WeightGemv { rows, cols, .. } => Some(gemv_reduction_ratio(*rows, *cols)),
             _ => None,
         })
         .fold(f64::INFINITY, f64::min)

@@ -36,7 +36,9 @@ pub mod spec;
 pub mod trace;
 pub mod zoo;
 
-pub use batch::{batch_to_saturate, batched_decode_intensity};
+pub use batch::{
+    batch_to_saturate, batched_decode_intensity, ArrivalTrace, RequestArrival, RequestShape,
+};
 pub use ops::{decode_step, DecodeOp, DecodeStep, SpecialKind};
 pub use quant::Quant;
 pub use spec::{Family, ModelSpec};

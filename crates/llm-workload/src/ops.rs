@@ -298,8 +298,10 @@ mod tests {
         let step = decode_step(&m, Quant::W8A8, 512);
         let streamed = step.total_weight_bytes() as f64;
         let full = m.weight_bytes(8) as f64;
-        assert!(streamed / full > 0.93 && streamed / full <= 1.0,
-            "streamed {streamed} vs full {full}");
+        assert!(
+            streamed / full > 0.93 && streamed / full <= 1.0,
+            "streamed {streamed} vs full {full}"
+        );
     }
 
     #[test]
@@ -316,8 +318,8 @@ mod tests {
         // Paper: decode under INT8 has arithmetic intensity ≈ 2.
         let m = zoo::opt_6_7b();
         let step = decode_step(&m, Quant::W8A8, 128);
-        let intensity = step.total_ops() as f64
-            / (step.total_weight_bytes() + step.total_dram_bytes()) as f64;
+        let intensity =
+            step.total_ops() as f64 / (step.total_weight_bytes() + step.total_dram_bytes()) as f64;
         assert!((1.8..2.3).contains(&intensity), "{intensity}");
     }
 
@@ -363,7 +365,9 @@ mod tests {
             .ops
             .iter()
             .find_map(|o| match o {
-                DecodeOp::WeightGemv { label: "Wk", rows, .. } => Some(*rows),
+                DecodeOp::WeightGemv {
+                    label: "Wk", rows, ..
+                } => Some(*rows),
                 _ => None,
             })
             .unwrap();
@@ -375,8 +379,10 @@ mod tests {
         let o = decode_step(&zoo::opt_6_7b(), Quant::W8A8, 10);
         let l = decode_step(&zoo::llama2_7b(), Quant::W8A8, 10);
         let has = |s: &DecodeStep, lbl: &str| {
-            s.ops.iter().any(|op| matches!(op,
-                DecodeOp::WeightGemv { label, .. } if *label == lbl))
+            s.ops.iter().any(|op| {
+                matches!(op,
+                DecodeOp::WeightGemv { label, .. } if *label == lbl)
+            })
         };
         assert!(has(&o, "W1") && !has(&o, "Wgate"));
         assert!(has(&l, "Wgate") && !has(&l, "W1"));

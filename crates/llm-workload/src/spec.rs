@@ -187,7 +187,6 @@ impl fmt::Display for ModelSpec {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::zoo;
 
     #[test]

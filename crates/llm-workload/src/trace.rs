@@ -27,12 +27,7 @@ impl GenerationTrace {
     ///
     /// Panics if the model is invalid or the total length exceeds the
     /// model's maximum sequence length.
-    pub fn new(
-        model: ModelSpec,
-        quant: Quant,
-        prompt_tokens: usize,
-        reply_tokens: usize,
-    ) -> Self {
+    pub fn new(model: ModelSpec, quant: Quant, prompt_tokens: usize, reply_tokens: usize) -> Self {
         model.validate().expect("invalid model");
         assert!(
             prompt_tokens + reply_tokens <= model.max_seq,

@@ -143,7 +143,8 @@ pub fn llama_family() -> Vec<ModelSpec> {
 /// assert!(zoo::by_name("gpt-5").is_none());
 /// ```
 pub fn by_name(name: &str) -> Option<ModelSpec> {
-    all().into_iter()
+    all()
+        .into_iter()
         .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 

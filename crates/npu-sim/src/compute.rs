@@ -35,7 +35,12 @@ impl NpuModel {
     /// Time for a GeMV whose weights arrive over a link of
     /// `stream_bytes_per_sec`: the maximum of compute and stream time
     /// (the array consumes weights as they arrive).
-    pub fn streamed_gemv_time(&self, ops: u64, weight_bytes: u64, stream_bytes_per_sec: u64) -> SimTime {
+    pub fn streamed_gemv_time(
+        &self,
+        ops: u64,
+        weight_bytes: u64,
+        stream_bytes_per_sec: u64,
+    ) -> SimTime {
         self.compute_time(ops)
             .max(transfer_time(weight_bytes, stream_bytes_per_sec))
     }

@@ -300,8 +300,14 @@ mod tests {
         let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap();
         assert!(by_name("none").feasible);
         assert!(by_name("outlier").feasible);
-        assert!(!by_name("replication").feasible, "16 KB copy cannot fit 1664 B");
-        assert!(!by_name("Hamming").feasible, "2 KB parity cannot fit 1664 B");
+        assert!(
+            !by_name("replication").feasible,
+            "16 KB copy cannot fit 1664 B"
+        );
+        assert!(
+            !by_name("Hamming").feasible,
+            "2 KB parity cannot fit 1664 B"
+        );
     }
 
     #[test]

@@ -127,7 +127,13 @@ pub fn run_trials(
     let mut acc = CorruptionReport::default();
     for p in 0..pages {
         let weights = make_weights(p as u64);
-        let r = run_trial(codec, &weights, ber, base_seed ^ (p as u64).wrapping_mul(0x9E37), with_ecc);
+        let r = run_trial(
+            codec,
+            &weights,
+            ber,
+            base_seed ^ (p as u64).wrapping_mul(0x9E37),
+            with_ecc,
+        );
         acc.elems += r.elems;
         acc.changed += r.changed;
         acc.outliers_changed += r.outliers_changed;

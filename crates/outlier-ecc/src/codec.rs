@@ -301,7 +301,10 @@ mod tests {
         let mut page = c.encode(&weights);
         // Find a protected outlier (value 100+) and corrupt its stored
         // data byte.
-        let victim = weights.iter().position(|&v| v.unsigned_abs() >= 100).unwrap();
+        let victim = weights
+            .iter()
+            .position(|&v| v.unsigned_abs() >= 100)
+            .unwrap();
         page.data[victim] ^= 0x40u8 as i8; // flip bit 6
         let (out, stats) = c.decode_with_stats(&page);
         assert_eq!(out[victim], weights[victim], "vote failed");

@@ -133,11 +133,7 @@ mod tests {
             for bit in 0..19 {
                 let corrupted = word ^ (1 << bit);
                 let d = decode(corrupted);
-                assert_eq!(
-                    d,
-                    Decoded::Corrected(addr),
-                    "addr {addr} bit {bit}"
-                );
+                assert_eq!(d, Decoded::Corrected(addr), "addr {addr} bit {bit}");
             }
         }
     }

@@ -76,7 +76,10 @@ impl BitFlipModel {
 ///
 /// With `N = 2` copies and `x = 1e-4`, `f_prot ≈ 3x² = 3e-8`.
 pub fn protected_flip_rate(copies: usize, x: f64) -> f64 {
-    assert!(copies % 2 == 0 && copies > 0, "copies must be positive even");
+    assert!(
+        copies % 2 == 0 && copies > 0,
+        "copies must be positive even"
+    );
     let n = copies;
     (n / 2 + 1..=n + 1)
         .map(|i| binomial(n + 1, i) as f64 * x.powi(i as i32) * (1.0 - x).powi((n + 1 - i) as i32))

@@ -171,6 +171,102 @@ impl Aggregate {
     }
 }
 
+/// A full sample set with order statistics, for latency distributions
+/// (p50/p99 token latency in serving reports).
+///
+/// Unlike [`Aggregate`], which keeps O(1) state, `Samples` retains every
+/// pushed value so exact percentiles can be computed. Sorting happens
+/// lazily on the first percentile query after a push.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::Samples;
+///
+/// let mut s = Samples::new();
+/// for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.percentile(50.0), Some(3.0));
+/// assert_eq!(s.percentile(0.0), Some(1.0));
+/// assert_eq!(s.percentile(100.0), Some(5.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Mean of samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.values.is_empty())
+            .then(|| self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`) by nearest-rank, or `None`
+    /// if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        // Nearest-rank: ceil(p/100 * n), clamped to [1, n].
+        let n = self.values.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.values[rank - 1])
+    }
+
+    /// Collapses to the O(1) summary form.
+    pub fn aggregate(&self) -> Aggregate {
+        self.values.iter().copied().collect()
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
 impl Extend<f64> for Aggregate {
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for x in iter {
@@ -232,6 +328,27 @@ mod tests {
         assert_eq!(agg.mean(), Some(2.0));
         assert_eq!(agg.min(), Some(1.0));
         assert_eq!(agg.max(), Some(3.0));
+    }
+
+    #[test]
+    fn samples_percentiles_nearest_rank() {
+        let mut s: Samples = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.percentile(99.0), Some(99.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(1.0), Some(1.0));
+        assert_eq!(s.mean(), Some(50.5));
+        assert_eq!(s.count(), 100);
+        let agg = s.aggregate();
+        assert_eq!(agg.min(), Some(1.0));
+        assert_eq!(agg.max(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_samples_are_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
     }
 
     #[test]

@@ -21,8 +21,6 @@ proptest! {
                 if let Some(prev) = last_idx_at_time {
                     prop_assert!(idx > prev, "FIFO violated at {t}");
                 }
-            } else {
-                last_idx_at_time = None;
             }
             last_idx_at_time = Some(idx);
             last_time = t;

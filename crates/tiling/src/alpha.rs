@@ -88,8 +88,7 @@ pub fn effective_rates(inp: &AlphaInputs, tile: TileShape) -> EffectiveRates {
     let cadence_s = timing.t_r.as_secs_f64().max(t_compute);
 
     let input_bytes = (tile.w_req / topo.channels * inp.act_bytes) as u64;
-    let result_bytes =
-        (tile.h_req / topo.compute_cores_per_channel() * inp.act_bytes) as u64;
+    let result_bytes = (tile.h_req / topo.compute_cores_per_channel() * inp.act_bytes) as u64;
     // Results stream without per-transaction command cycles (the
     // controller drains output buffers in streaming mode — matching the
     // engine's bus model); the input broadcast is one command.
@@ -97,8 +96,7 @@ pub fn effective_rates(inp: &AlphaInputs, tile: TileShape) -> EffectiveRates {
         + cc * timing.xfer(result_bytes).as_secs_f64();
 
     let chunks = inp.slice.chunks_per_page(topo.page_bytes) as f64;
-    let t_page_s = chunks * timing.t_cmd.as_secs_f64()
-        + timing.xfer(page_bytes).as_secs_f64();
+    let t_page_s = chunks * timing.t_cmd.as_secs_f64() + timing.xfer(page_bytes).as_secs_f64();
 
     let reads_per_round = ((cadence_s - t_ctrl_s) / t_page_s).max(0.0);
     let alpha = cc / (cc + reads_per_round);

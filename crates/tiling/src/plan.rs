@@ -104,12 +104,12 @@ pub fn plan_gemv(
         h_req: topo.compute_cores_per_channel(),
         w_req: topo.channels
             * (page_params(topo, inp.weight_bits) as usize
-                / topo.compute_cores_per_channel().max(1)).max(1),
+                / topo.compute_cores_per_channel().max(1))
+            .max(1),
     });
     let rates = effective_rates(inp, tile);
 
     let total = rows as u64 * cols as u64;
-    let tile_params = tile.area();
     let pp = page_params(topo, inp.weight_bits);
 
     // Allocation happens at *page* granularity: atomic tiles are single
@@ -136,8 +136,7 @@ pub fn plan_gemv(
         let rounds = flash_pages.div_ceil(cores_total);
         let npu_pages = pages_total - flash_pages;
         let t_flash = rounds as f64 * rates.cadence_s;
-        let t_bus = rounds as f64 * rates.t_ctrl_s
-            + npu_pages as f64 / ch * rates.t_page_s;
+        let t_bus = rounds as f64 * rates.t_ctrl_s + npu_pages as f64 / ch * rates.t_page_s;
         t_flash.max(t_bus)
     };
     // Pick the better of the two round-boundary neighbours of the ideal
@@ -146,8 +145,7 @@ pub fn plan_gemv(
     // FlashOnly offloads nothing, NpuOnly computes nothing on-die.
     let ideal_pages = (alpha_target * pages_total as f64).min(pages_total as f64);
     let lo = (ideal_pages / cores_total as f64).floor() as u64 * cores_total;
-    let hi = ((ideal_pages / cores_total as f64).ceil() as u64 * cores_total)
-        .min(pages_total);
+    let hi = ((ideal_pages / cores_total as f64).ceil() as u64 * cores_total).min(pages_total);
     let flash_pages = match (strategy, fitted) {
         (_, None) | (Strategy::NpuOnly, _) => 0,
         (Strategy::FlashOnly, _) => pages_total,
@@ -256,7 +254,10 @@ mod tests {
 
     #[test]
     fn tile_override_is_used() {
-        let t = TileShape { h_req: 128, w_req: 4096 };
+        let t = TileShape {
+            h_req: 128,
+            w_req: 4096,
+        };
         let p = plan_gemv(&inp_s(), 4096, 4096, Strategy::HardwareAware, Some(t));
         assert_eq!(p.tile, t);
         assert_eq!(p.rc_input_bytes, 4096 / 8);

@@ -119,12 +119,7 @@ pub fn optimal_tile(topo: &Topology, weight_bits: u32) -> TileShape {
 /// that keep the tile inside the matrix while preserving the exact tile
 /// area (`cores × page_params`). Returns `None` when no whole tile fits
 /// (the matrix then goes entirely to the NPU).
-pub fn fit_tile(
-    topo: &Topology,
-    weight_bits: u32,
-    rows: usize,
-    cols: usize,
-) -> Option<TileShape> {
+pub fn fit_tile(topo: &Topology, weight_bits: u32, rows: usize, cols: usize) -> Option<TileShape> {
     let cc = topo.compute_cores_per_channel() as u64;
     let ch = topo.channels as u64;
     let pp = page_params(topo, weight_bits);
@@ -179,10 +174,7 @@ mod tests {
 
     #[test]
     fn optimal_is_at_amgm_bound() {
-        for topo in [
-            Topology::cambricon_s(),
-            Topology::cambricon_l(),
-        ] {
+        for topo in [Topology::cambricon_s(), Topology::cambricon_l()] {
             let t = optimal_tile(&topo, 8);
             let bound = min_transfer_elems(&topo, 8);
             let actual = t.transfer_elems(&topo) as f64;
@@ -236,6 +228,10 @@ mod tests {
     #[should_panic(expected = "does not divide")]
     fn atomic_rejects_ragged_shape() {
         let topo = Topology::cambricon_s();
-        TileShape { h_req: 101, w_req: 2048 }.atomic(&topo);
+        TileShape {
+            h_req: 101,
+            w_req: 2048,
+        }
+        .atomic(&topo);
     }
 }

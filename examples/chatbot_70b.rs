@@ -6,8 +6,8 @@
 //! cargo run --example chatbot_70b [-- <prompt_tokens> <reply_tokens>]
 //! ```
 
-use cambricon_llm_repro::prelude::*;
 use cambricon_llm::prefill;
+use cambricon_llm_repro::prelude::*;
 use llm_workload::kv;
 use npu_sim::{KvCache, NpuConfig};
 
@@ -29,7 +29,11 @@ fn main() {
     println!(
         "prefill: {:.2} s to first token ({})",
         pre.ttft_s,
-        if pre.compute_bound { "compute-bound" } else { "weight-stream-bound" }
+        if pre.compute_bound {
+            "compute-bound"
+        } else {
+            "weight-stream-bound"
+        }
     );
 
     // Phase 2: decode, tracking the KV cache in DRAM.

@@ -15,7 +15,10 @@ fn main() {
 
     println!("Design space for {model} (decode, context {seq})\n");
 
-    println!("{:<28} {:>10} {:>12}", "configuration", "tok/s", "channel use");
+    println!(
+        "{:<28} {:>10} {:>12}",
+        "configuration", "tok/s", "channel use"
+    );
     println!("{}", "-".repeat(52));
 
     // Topology sweep.
@@ -33,7 +36,10 @@ fn main() {
     // Mechanism ablations on Cam-S.
     let variants: [(&str, SystemConfig); 5] = [
         ("Cam-S (full)", SystemConfig::cambricon_s()),
-        ("Cam-S w/o read slice", SystemConfig::cambricon_s().without_read_slice()),
+        (
+            "Cam-S w/o read slice",
+            SystemConfig::cambricon_s().without_read_slice(),
+        ),
         (
             "Cam-S flash-only",
             SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly),
@@ -42,7 +48,10 @@ fn main() {
             "Cam-S NPU-only (offload)",
             SystemConfig::cambricon_s().with_strategy(Strategy::NpuOnly),
         ),
-        ("Cam-S W4A16", SystemConfig::cambricon_s().with_quant(Quant::W4A16)),
+        (
+            "Cam-S W4A16",
+            SystemConfig::cambricon_s().with_quant(Quant::W4A16),
+        ),
     ];
     println!();
     for (name, cfg) in variants {
@@ -60,8 +69,20 @@ fn main() {
     println!();
     for (name, tile) in [
         ("tile 256x2048 (optimal)", None),
-        ("tile 128x4096", Some(TileShape { h_req: 128, w_req: 4096 })),
-        ("tile 4096x128", Some(TileShape { h_req: 4096, w_req: 128 })),
+        (
+            "tile 128x4096",
+            Some(TileShape {
+                h_req: 128,
+                w_req: 4096,
+            }),
+        ),
+        (
+            "tile 4096x128",
+            Some(TileShape {
+                h_req: 4096,
+                w_req: 128,
+            }),
+        ),
     ] {
         let cfg = match tile {
             None => SystemConfig::cambricon_s(),

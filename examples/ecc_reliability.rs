@@ -20,7 +20,10 @@ fn main() {
     let cfg = MlpConfig::default();
     let train = gaussian_blobs(2000, cfg.input, cfg.classes, 0.6, 11);
     let test = gaussian_blobs(800, cfg.input, cfg.classes, 0.6, 22);
-    println!("training a {}-{}-{} MLP...", cfg.input, cfg.hidden, cfg.classes);
+    println!(
+        "training a {}-{}-{} MLP...",
+        cfg.input, cfg.hidden, cfg.classes
+    );
     let net = Mlp::train(cfg, &train);
     let quant = QuantMlp::quantize(&net);
     println!(

@@ -1,0 +1,26 @@
+# Developer entry points; `just --list` shows this menu.
+
+# Build everything in release mode.
+build:
+    cargo build --release
+
+# The tier-1 verify: release build plus the full test suite.
+test: build
+    cargo test -q
+
+# Criterion smoke benches (vendored harness: fixed-iteration timings).
+bench:
+    cargo bench -p bench
+
+# Regenerate every paper table/figure ("full" for full-resolution sweeps).
+repro target="all":
+    cargo run --release -p bench --bin repro -- {{target}}
+
+# Format + lint exactly as CI runs them.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Auto-format the workspace.
+fmt:
+    cargo fmt

@@ -2,9 +2,9 @@
 //!
 //! Re-exports the whole reproduction of *Cambricon-LLM: A Chiplet-Based
 //! Hybrid Architecture for On-Device Inference of 70B LLM* (MICRO 2024)
-//! so examples and integration tests can use one dependency. See the
-//! README for the architecture tour and `DESIGN.md` for the experiment
-//! index.
+//! so examples and integration tests can use one dependency. See
+//! `README.md` for the crate map and quickstart; the experiment index
+//! is `cargo run -p bench --bin repro -- list`.
 //!
 //! ```
 //! use cambricon_llm_repro::prelude::*;
@@ -28,9 +28,11 @@ pub use tiling;
 /// The most common imports in one place.
 pub mod prelude {
     pub use baselines::{BaselineError, FlexGen, MlcLlm};
-    pub use cambricon_llm::{EnergyModel, System, SystemConfig};
+    pub use cambricon_llm::{
+        EnergyModel, SchedulePolicy, ServeEngine, ServeReport, System, SystemConfig,
+    };
     pub use flash_sim::{SlicePolicy, Topology};
-    pub use llm_workload::{zoo, Quant};
+    pub use llm_workload::{zoo, ArrivalTrace, Quant, RequestShape};
     pub use outlier_ecc::{BitFlipModel, PageCodec};
     pub use tiling::{Strategy, TileShape};
 }

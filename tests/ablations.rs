@@ -39,8 +39,14 @@ fn fig13_optimal_tile_wins() {
     // Paper: 256×2048 beats 128×4096 by ~17.5% and 4096×128 by ~24.7%
     // on average (Cam-S).
     let shapes = [
-        TileShape { h_req: 128, w_req: 4096 },
-        TileShape { h_req: 4096, w_req: 128 },
+        TileShape {
+            h_req: 128,
+            w_req: 4096,
+        },
+        TileShape {
+            h_req: 4096,
+            w_req: 128,
+        },
     ];
     for model in [zoo::opt_6_7b(), zoo::llama2_7b()] {
         let ours = speed(SystemConfig::cambricon_s(), &model);
@@ -76,7 +82,11 @@ fn fig14_flash_only_utilization_is_a_few_percent() {
     let model = zoo::opt_6_7b();
     let rep = System::new(SystemConfig::cambricon_s().with_strategy(Strategy::FlashOnly))
         .decode_token(&model, SEQ);
-    assert!(rep.channel_utilization < 0.08, "{}", rep.channel_utilization);
+    assert!(
+        rep.channel_utilization < 0.08,
+        "{}",
+        rep.channel_utilization
+    );
 }
 
 #[test]

@@ -120,7 +120,11 @@ fn fig16_transfer_reduction_band() {
         let cam = rep.traffic.transferred_bytes() as f64;
         let flex = (3 * model.weight_bytes(8) + rep.traffic.dram_bytes) as f64;
         let reduction = flex / cam;
-        assert!((6.0..14.0).contains(&reduction), "{}: {reduction:.1}", model.name);
+        assert!(
+            (6.0..14.0).contains(&reduction),
+            "{}: {reduction:.1}",
+            model.name
+        );
     }
 }
 

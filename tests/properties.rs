@@ -4,7 +4,7 @@ use cambricon_llm_repro::prelude::*;
 use flash_sim::{ChannelEngine, ChannelWorkload, EngineConfig};
 use outlier_ecc::measure;
 use proptest::prelude::*;
-use tiling::{plan_gemv, AlphaInputs};
+use tiling::{plan_gemv, AlphaInputs, Strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

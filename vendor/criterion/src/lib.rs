@@ -1,0 +1,192 @@
+//! A minimal, **offline** shim of the [`criterion`] bench harness.
+//!
+//! The build environment has no registry access, so the real criterion
+//! cannot be vendored. This shim keeps the workspace's `benches/`
+//! targets compiling and *running* — each benchmark body executes a
+//! small fixed number of iterations and reports wall time per
+//! iteration. It is a smoke harness, not a statistics engine: no
+//! warm-up, outlier rejection, or HTML reports.
+//!
+//! Supported surface: `Criterion`, `benchmark_group` (with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`
+//! / `finish`), `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark. Smoke-level on purpose: `cargo test`
+/// runs bench targets too, and simulator benches are not cheap.
+const ITERS: u32 = 3;
+
+/// The bench context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/config settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always smoke-runs.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        let label = format!("{}/{}", self.name, id.0);
+        let start = Instant::now();
+        f(&mut b, input);
+        report(
+            &label,
+            start.elapsed().as_secs_f64(),
+            b.iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` a fixed number of times, preventing the result from
+    /// being optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, tp: Option<Throughput>, f: &mut F) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    f(&mut b);
+    report(label, start.elapsed().as_secs_f64(), b.iters, tp);
+}
+
+fn report(label: &str, total_s: f64, iters: u32, tp: Option<Throughput>) {
+    let per_iter = if iters > 0 {
+        total_s / iters as f64
+    } else {
+        total_s
+    };
+    match tp {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => println!(
+            "  {label}: {:.3} ms/iter ({:.1} MiB/s)",
+            per_iter * 1e3,
+            n as f64 / per_iter / (1 << 20) as f64
+        ),
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => println!(
+            "  {label}: {:.3} ms/iter ({:.0} elem/s)",
+            per_iter * 1e3,
+            n as f64 / per_iter
+        ),
+        _ => println!("  {label}: {:.3} ms/iter", per_iter * 1e3),
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Declares a group of benchmark functions. Mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,119 @@
+//! A minimal, **offline** shim of the [`proptest`] crate.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the real proptest cannot be vendored. This crate
+//! re-implements exactly the API surface the workspace's property tests
+//! use, with *deterministic* uniform sampling instead of shrinking and
+//! adaptive generation:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0u64..100`), [`any`], [`Just`], [`prop_oneof!`],
+//!   and [`collection::vec`].
+//!
+//! Each test runs `cases` iterations with inputs drawn from a SplitMix64
+//! stream seeded from the test's name, so runs are reproducible across
+//! machines and invocations. No shrinking is performed: a failing case
+//! panics with the ordinary assertion message.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy, TestRng};
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+#[doc(hidden)]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases as u64 {
+                let mut rng = $crate::TestRng::new(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
