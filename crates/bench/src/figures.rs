@@ -568,9 +568,11 @@ pub fn prefill_table() -> TextTable {
 /// Closed-loop concurrency ladder on Cambricon-LLM-S serving OPT-6.7B:
 /// aggregate throughput, p50/p99 token latency, and the latency
 /// slowdown vs a single in-flight request. Sub-linear slowdown is the
-/// flash/NPU phase overlap the serving engine exploits; the shared
-/// GeMV cache keeps the whole ladder at one flash simulation per
-/// distinct weight shape.
+/// flash/NPU phase overlap the serving engine exploits; the cache
+/// columns show how far the fleet amortizes pricing — the GeMV cache
+/// keeps the whole ladder at one flash simulation per distinct weight
+/// shape, and the op-cost cache turns all repeated op pricings into
+/// recalls.
 pub fn serving_table() -> TextTable {
     let mut t = TextTable::new([
         "Clients",
@@ -579,6 +581,8 @@ pub fn serving_table() -> TextTable {
         "p99 ms/tok",
         "Slowdown",
         "Linear",
+        "GeMV hit/miss",
+        "OpCost hit/miss",
     ]);
     let engine = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b());
     let shape = RequestShape::new(SEQ, 4);
@@ -598,6 +602,8 @@ pub fn serving_table() -> TextTable {
             num(rep.p99_token_latency_s * 1e3),
             format!("{:.2}x", rep.mean_token_latency_s / single),
             format!("{clients}.00x"),
+            format!("{}/{}", rep.gemv_cache_hits, rep.gemv_cache_misses),
+            format!("{}/{}", rep.op_cost_cache_hits, rep.op_cost_cache_misses),
         ]);
     }
     t

@@ -11,7 +11,7 @@
 
 use crate::config::SystemConfig;
 use crate::system::System;
-use llm_workload::ModelSpec;
+use llm_workload::{ModelSpec, TokenPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -54,8 +54,15 @@ pub fn sweep_channels(
 }
 
 fn evaluate(model: &ModelSpec, channels: usize, chips: usize, seq_len: usize) -> SweepPoint {
-    let mut sys = System::new(SystemConfig::custom(channels, chips));
-    let rep = sys.decode_token(model, seq_len);
+    let cfg = SystemConfig::custom(channels, chips);
+    evaluate_planned(&TokenPlan::new(model, cfg.quant), cfg, seq_len)
+}
+
+fn evaluate_planned(plan: &TokenPlan, cfg: SystemConfig, seq_len: usize) -> SweepPoint {
+    let channels = cfg.engine.topology.channels;
+    let chips = cfg.engine.topology.chips_per_channel;
+    let mut sys = System::new(cfg);
+    let rep = sys.decode_token_planned(plan, seq_len);
     SweepPoint {
         channels,
         chips_per_channel: chips,
@@ -65,7 +72,9 @@ fn evaluate(model: &ModelSpec, channels: usize, chips: usize, seq_len: usize) ->
 }
 
 /// Evaluates every `(channels, chips)` point of `grid` in parallel,
-/// returning results in grid order.
+/// returning results in grid order. The decode plan is built once and
+/// shared (read-only) by every worker — design points vary the
+/// hardware, not the workload.
 fn evaluate_grid(model: &ModelSpec, grid: &[(usize, usize)], seq_len: usize) -> Vec<SweepPoint> {
     if grid.len() <= 1 {
         return grid
@@ -73,6 +82,8 @@ fn evaluate_grid(model: &ModelSpec, grid: &[(usize, usize)], seq_len: usize) -> 
             .map(|&(ch, c)| evaluate(model, ch, c, seq_len))
             .collect();
     }
+    let plan = TokenPlan::new(model, SystemConfig::custom(grid[0].0, grid[0].1).quant);
+    let plan = &plan;
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -88,7 +99,7 @@ fn evaluate_grid(model: &ModelSpec, grid: &[(usize, usize)], seq_len: usize) -> 
                 };
                 // Simulate outside the lock; only the slot write is
                 // serialized.
-                let point = evaluate(model, ch, chips, seq_len);
+                let point = evaluate_planned(plan, SystemConfig::custom(ch, chips), seq_len);
                 slots.lock().expect("sweep worker panicked")[i] = Some(point);
             });
         }

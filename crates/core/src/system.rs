@@ -17,9 +17,11 @@
 
 use crate::config::SystemConfig;
 use flash_sim::{DeviceReport, FlashDevice};
-use llm_workload::{decode_step, DecodeOp, ModelSpec};
+use llm_workload::{decode_step, DecodeOp, ModelSpec, OpShape, TokenPlan};
 use npu_sim::NpuModel;
-use sim_core::SimTime;
+use sim_core::{CacheStats, SimTime};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use tiling::{plan_gemv, GemvPlan};
 
 /// Byte/operation traffic of one generated token, for the energy model
@@ -49,12 +51,18 @@ impl TrafficBreakdown {
 
     /// Accumulates another breakdown into this one.
     pub fn absorb(&mut self, other: &TrafficBreakdown) {
-        self.nand_array_bytes += other.nand_array_bytes;
-        self.in_flash_bytes += other.in_flash_bytes;
-        self.d2d_bytes += other.d2d_bytes;
-        self.dram_bytes += other.dram_bytes;
-        self.npu_ops += other.npu_ops;
-        self.flash_ops += other.flash_ops;
+        self.absorb_scaled(other, 1);
+    }
+
+    /// Accumulates `n` occurrences of another breakdown at once (an op
+    /// repeated `n` times per token contributes `n ×` its traffic).
+    pub fn absorb_scaled(&mut self, other: &TrafficBreakdown, n: u64) {
+        self.nand_array_bytes += n * other.nand_array_bytes;
+        self.in_flash_bytes += n * other.in_flash_bytes;
+        self.d2d_bytes += n * other.d2d_bytes;
+        self.dram_bytes += n * other.dram_bytes;
+        self.npu_ops += n * other.npu_ops;
+        self.flash_ops += n * other.flash_ops;
     }
 }
 
@@ -87,8 +95,7 @@ pub struct TokenReport {
 #[derive(Debug, Clone, Default)]
 pub struct GemvCache {
     entries: Vec<((usize, usize), GemvPlan, DeviceReport)>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl GemvCache {
@@ -109,12 +116,17 @@ impl GemvCache {
 
     /// Lookups served from memory (shape already simulated).
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits()
     }
 
     /// Lookups that ran the flash discrete-event simulation.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses()
+    }
+
+    /// Both counters as one summary.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     fn lookup(&mut self, rows: usize, cols: usize) -> Option<(GemvPlan, DeviceReport)> {
@@ -124,11 +136,11 @@ impl GemvCache {
             .find(|((r, c), _, _)| *r == rows && *c == cols)
         {
             Some((_, plan, rep)) => {
-                self.hits += 1;
+                self.stats.hit();
                 Some((*plan, *rep))
             }
             None => {
-                self.misses += 1;
+                self.stats.miss();
                 None
             }
         }
@@ -179,12 +191,128 @@ pub struct OpCost {
     pub channel_utilization: f64,
 }
 
+/// Multiply-rotate hasher (fx-hash style) for the op-cost map.
+///
+/// `OpShape` keys are three machine words; SipHash (std's default)
+/// costs more than recomputing most op costs, which would defeat the
+/// cache. This hasher is a handful of ALU ops per word — not DoS
+/// resistant, which is fine for keys the simulator itself generates.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShapeHasher {
+    hash: u64,
+}
+
+impl ShapeHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for ShapeHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Memoized op pricing: canonical shape ([`llm_workload::OpShape`],
+/// the single definition of the "cost depends only on shape" contract)
+/// → [`OpCost`].
+///
+/// Sibling of [`GemvCache`], one level up: where the GeMV cache
+/// memoizes the expensive flash discrete-event simulation, this cache
+/// memoizes the *entire* [`System::op_cost`] derivation (roofline
+/// arithmetic, traffic accounting, the GeMV-cache consultation itself),
+/// so a repeated op costs one hash lookup. Decode streams repeat a
+/// dozen distinct shapes hundreds of times per token, and concurrent
+/// same-model requests repeat each other's shapes across the fleet —
+/// serving reports surface the hit/miss split to show that sharing.
+#[derive(Debug, Clone, Default)]
+pub struct OpCostCache {
+    map: HashMap<OpShape, OpCost, BuildHasherDefault<ShapeHasher>>,
+    stats: CacheStats,
+}
+
+impl OpCostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct shapes priced so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no shape has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.stats.hits()
+    }
+
+    /// Lookups that derived the cost from the hardware models.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses()
+    }
+
+    /// Both counters as one summary.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn lookup(&mut self, shape: OpShape) -> Option<OpCost> {
+        match self.map.get(&shape) {
+            Some(cost) => {
+                self.stats.hit();
+                Some(*cost)
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, shape: OpShape, cost: OpCost) {
+        self.map.insert(shape, cost);
+    }
+}
+
 /// The system: configuration plus lazily simulated GeMV latencies.
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
     npu: NpuModel,
     gemv_cache: GemvCache,
+    op_cache: OpCostCache,
 }
 
 impl System {
@@ -194,6 +322,7 @@ impl System {
             npu: NpuModel::new(cfg.npu),
             cfg,
             gemv_cache: GemvCache::new(),
+            op_cache: OpCostCache::new(),
         }
     }
 
@@ -205,6 +334,11 @@ impl System {
     /// The memoized GeMV simulations accumulated so far.
     pub fn gemv_cache(&self) -> &GemvCache {
         &self.gemv_cache
+    }
+
+    /// The memoized op costs accumulated so far.
+    pub fn op_cost_cache(&self) -> &OpCostCache {
+        &self.op_cache
     }
 
     /// Simulates (or recalls) one weight GeMV of shape `rows × cols`.
@@ -244,8 +378,24 @@ impl System {
     /// serving engine ([`crate::serve`]) schedules with; [`decode_token`]
     /// is the strictly-sequential sum of these costs.
     ///
+    /// Costs are memoized by canonical shape ([`OpCostCache`]): the
+    /// first op of each shape runs the full derivation, repeats are a
+    /// hash lookup.
+    ///
     /// [`decode_token`]: System::decode_token
     pub fn op_cost(&mut self, op: &DecodeOp) -> OpCost {
+        let shape = OpShape::of(op);
+        if let Some(cost) = self.op_cache.lookup(shape) {
+            return cost;
+        }
+        let cost = self.derive_op_cost(op);
+        self.op_cache.insert(shape, cost);
+        cost
+    }
+
+    /// Runs the full cost derivation, bypassing the memo (the cache
+    /// guarantees one call per distinct shape).
+    fn derive_op_cost(&mut self, op: &DecodeOp) -> OpCost {
         let quant = self.cfg.quant;
         let mut traffic = TrafficBreakdown::default();
         match op {
@@ -301,8 +451,32 @@ impl System {
 
     /// Simulates one decode step (token generation) at context length
     /// `seq_len`.
+    ///
+    /// Enumerates the ops eagerly via [`decode_step`]; when stepping
+    /// many tokens of one model, build a [`TokenPlan`] once and use
+    /// [`decode_token_planned`](System::decode_token_planned) instead.
     pub fn decode_token(&mut self, model: &ModelSpec, seq_len: usize) -> TokenReport {
         let step = decode_step(model, self.cfg.quant, seq_len);
+        self.sum_op_costs(step.ops.iter().copied())
+    }
+
+    /// [`decode_token`](System::decode_token) over a prebuilt
+    /// [`TokenPlan`]: identical result, no per-token enumeration or
+    /// allocation. The plan's quantization must match the system's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.quant()` differs from the system configuration.
+    pub fn decode_token_planned(&mut self, plan: &TokenPlan, seq_len: usize) -> TokenReport {
+        assert_eq!(
+            plan.quant(),
+            self.cfg.quant,
+            "token plan quantization does not match the system"
+        );
+        self.sum_op_costs(plan.stream(seq_len))
+    }
+
+    fn sum_op_costs(&mut self, ops: impl Iterator<Item = DecodeOp>) -> TokenReport {
         let mut total = SimTime::ZERO;
         let mut gemv_t = SimTime::ZERO;
         let mut kv_t = SimTime::ZERO;
@@ -310,8 +484,8 @@ impl System {
         let mut traffic = TrafficBreakdown::default();
         let mut util_weighted = 0.0f64;
 
-        for op in &step.ops {
-            let cost = self.op_cost(op);
+        for op in ops {
+            let cost = self.op_cost(&op);
             total += cost.latency;
             match op {
                 DecodeOp::WeightGemv { .. } => {
@@ -499,5 +673,86 @@ mod tests {
         sys.decode_token(&model, 100);
         // OPT layers have 4 distinct shapes (h×h, 4h×h, h×4h) + lm_head.
         assert!(sys.gemv_cache.len() <= 5, "{}", sys.gemv_cache.len());
+    }
+
+    #[test]
+    fn op_shape_collapses_labels_and_kinds() {
+        // Wq and Wo share a matrix shape; a softmax and a norm over the
+        // same element count share SFU time. Both collapse.
+        let a = DecodeOp::WeightGemv {
+            label: "Wq",
+            rows: 4096,
+            cols: 4096,
+        };
+        let b = DecodeOp::WeightGemv {
+            label: "Wo",
+            rows: 4096,
+            cols: 4096,
+        };
+        assert_eq!(OpShape::of(&a), OpShape::of(&b));
+        let c = DecodeOp::Special {
+            kind: llm_workload::SpecialKind::Softmax,
+            elems: 77,
+        };
+        let d = DecodeOp::Special {
+            kind: llm_workload::SpecialKind::Norm,
+            elems: 77,
+        };
+        assert_eq!(OpShape::of(&c), OpShape::of(&d));
+        assert_ne!(OpShape::of(&a), OpShape::of(&c));
+    }
+
+    #[test]
+    fn op_cost_cache_memoizes_decode_stream() {
+        let model = zoo::opt_6_7b();
+        let mut sys = System::new(SystemConfig::cambricon_s());
+        sys.decode_token(&model, 100);
+        let ops_per_token = 32 * 13 + 2; // OPT-6.7B: 32 layers x 13 ops + norm + head
+        let cache = sys.op_cost_cache();
+        assert_eq!(cache.stats().lookups(), ops_per_token);
+        // A dozen distinct shapes price the whole token.
+        assert!(cache.misses() <= 12, "{}", cache.misses());
+        assert_eq!(cache.len() as u64, cache.misses());
+        assert!(cache.hits() > 300);
+        // Replaying the token is pure recall.
+        let misses_before = cache.misses();
+        sys.decode_token(&model, 100);
+        assert_eq!(sys.op_cost_cache().misses(), misses_before);
+    }
+
+    #[test]
+    fn cached_op_cost_is_identical_to_derived() {
+        let model = zoo::opt_13b();
+        let step = decode_step(&model, Quant::W8A8, 500);
+        let mut cold = System::new(SystemConfig::cambricon_s());
+        let mut warm = System::new(SystemConfig::cambricon_s());
+        for op in &step.ops {
+            warm.op_cost(op);
+        }
+        for op in &step.ops {
+            assert_eq!(cold.op_cost(op), warm.op_cost(op));
+        }
+    }
+
+    #[test]
+    fn planned_decode_matches_eager_decode() {
+        use llm_workload::TokenPlan;
+        let model = zoo::llama2_7b();
+        let plan = TokenPlan::new(&model, Quant::W8A8);
+        let mut a = System::new(SystemConfig::cambricon_s());
+        let mut b = System::new(SystemConfig::cambricon_s());
+        let eager = a.decode_token(&model, 777);
+        let planned = b.decode_token_planned(&plan, 777);
+        assert_eq!(eager, planned);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization")]
+    fn planned_decode_rejects_quant_mismatch() {
+        use llm_workload::TokenPlan;
+        let model = zoo::llama2_7b();
+        let plan = TokenPlan::new(&model, Quant::W4A16);
+        let mut sys = System::new(SystemConfig::cambricon_s());
+        sys.decode_token_planned(&plan, 100);
     }
 }

@@ -31,6 +31,7 @@ pub mod batch;
 pub mod intensity;
 pub mod kv;
 pub mod ops;
+pub mod plan;
 pub mod quant;
 pub mod spec;
 pub mod trace;
@@ -39,7 +40,8 @@ pub mod zoo;
 pub use batch::{
     batch_to_saturate, batched_decode_intensity, ArrivalTrace, RequestArrival, RequestShape,
 };
-pub use ops::{decode_step, DecodeOp, DecodeStep, SpecialKind};
+pub use ops::{decode_step, DecodeOp, DecodeStep, OpShape, SpecialKind};
+pub use plan::{OpCursor, OpStream, TokenPlan};
 pub use quant::Quant;
 pub use spec::{Family, ModelSpec};
 pub use trace::{GenerationTrace, TraceTotals};

@@ -33,7 +33,10 @@ pub enum SpecialKind {
 }
 
 /// One operation of a decode step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: an op is three words of shape description; simulators pass
+/// them by value instead of borrowing or cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeOp {
     /// `y = W x` against a weight matrix resident in flash.
     /// `rows × cols` is the matrix shape; executed cooperatively by the
@@ -102,6 +105,60 @@ impl DecodeOp {
     }
 }
 
+/// Canonical cost shape of a [`DecodeOp`]: everything a shape-driven
+/// cost model reads, nothing it ignores.
+///
+/// Labels and special-function kinds don't enter any latency or
+/// traffic formula, so `Wq` and `Wo` (same matrix shape) — or a
+/// softmax and a norm over the same element count — collapse to one
+/// shape. Two ops with equal `OpShape` are guaranteed the same cost,
+/// which makes it a sound memoization key (the system simulator's
+/// op-cost cache) and a sound dedup key (a
+/// [`TokenPlan`](crate::plan::TokenPlan)'s cost slots). This is the
+/// single definition of that contract: a cost model that starts
+/// reading a field not captured here must extend this enum first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpShape {
+    /// Weight GeMV of `rows × cols` (flash + NPU co-execution).
+    Gemv {
+        /// Output length.
+        rows: usize,
+        /// Input length.
+        cols: usize,
+    },
+    /// KV-cache matrix work: `ops` MACs over `dram_bytes` streamed.
+    KvStream {
+        /// Bytes read from DRAM.
+        dram_bytes: u64,
+        /// Arithmetic operation count.
+        ops: u64,
+    },
+    /// SFU special function over `elems` elements.
+    Sfu {
+        /// Elements processed.
+        elems: u64,
+    },
+    /// DRAM write of `bytes` (KV append).
+    DramWrite {
+        /// Bytes written.
+        bytes: u64,
+    },
+}
+
+impl OpShape {
+    /// The canonical shape of `op`.
+    pub fn of(op: &DecodeOp) -> OpShape {
+        match *op {
+            DecodeOp::WeightGemv { rows, cols, .. } => OpShape::Gemv { rows, cols },
+            DecodeOp::KvMatVec {
+                dram_bytes, ops, ..
+            } => OpShape::KvStream { dram_bytes, ops },
+            DecodeOp::Special { elems, .. } => OpShape::Sfu { elems },
+            DecodeOp::KvAppend { bytes } => OpShape::DramWrite { bytes },
+        }
+    }
+}
+
 /// The complete op stream of one decode step (one generated token).
 #[derive(Debug, Clone)]
 pub struct DecodeStep {
@@ -150,6 +207,13 @@ impl DecodeStep {
 
 /// Enumerates the op stream for generating one token at position
 /// `seq_len` (so the KV cache currently holds `seq_len` entries).
+///
+/// This eager push-based enumeration is the readable *specification* of
+/// the decode op sequence. Hot paths use [`crate::plan::TokenPlan`],
+/// which yields the same stream lazily with no per-token allocation; a
+/// property test pins the two implementations to each other, so any
+/// edit here must be mirrored there (and vice versa) or the suite
+/// fails.
 ///
 /// # Panics
 ///

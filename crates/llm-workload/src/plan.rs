@@ -1,0 +1,537 @@
+//! Precomputed per-model decode plans and lazy op streams.
+//!
+//! [`decode_step`](crate::ops::decode_step) enumerates the full op
+//! stream of one token into a fresh `Vec` — fine for one-shot analysis,
+//! but a serving engine replays that stream for *every token of every
+//! request*, and almost none of it changes between tokens: the weight
+//! GeMVs, norms, activations and KV appends are fixed by the
+//! `(model, quant)` pair, and only the attention ops (`scores`,
+//! `softmax`, `context`) grow with the sequence position.
+//!
+//! [`TokenPlan`] captures that split once: a layer template of
+//! seq-invariant ops plus the three seq-dependent attention templates,
+//! each position tagged with a **cost slot** — an index that is equal
+//! for ops guaranteed to have identical execution cost (same canonical
+//! shape), which is what lets a simulator price each slot once and
+//! replay tokens with array lookups instead of re-deriving every op.
+//!
+//! [`OpStream`] / [`OpCursor`] walk a plan lazily, materializing each
+//! [`DecodeOp`] on the fly (a few integer multiplies) with **no
+//! per-token allocation**. The stream is observably identical to the
+//! eager enumeration — `decode_step` keeps its original push-based body
+//! as the readable specification, and a property test pins
+//! `TokenPlan::stream` to it op for op.
+//!
+//! # Example
+//!
+//! ```
+//! use llm_workload::{decode_step, zoo, Quant, TokenPlan};
+//!
+//! let model = zoo::llama2_70b();
+//! let plan = TokenPlan::new(&model, Quant::W8A8);
+//! // Lazy stream == eager enumeration, with zero per-token allocation.
+//! let eager = decode_step(&model, Quant::W8A8, 1000).ops;
+//! assert!(plan.stream(1000).eq(eager.into_iter()));
+//! // Far fewer cost slots than ops: layers repeat the same shapes.
+//! assert!(plan.cost_slots() < plan.len() / 50);
+//! ```
+
+use crate::ops::{DecodeOp, OpShape, SpecialKind};
+use crate::quant::Quant;
+use crate::spec::{Family, ModelSpec};
+
+/// One position of a [`TokenPlan`]: either an op fixed by the model
+/// shape, or a template for an attention op that depends on the
+/// sequence position `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanOp {
+    /// Seq-invariant op, stored fully materialized.
+    Fixed(DecodeOp),
+    /// Attention scores `q·Kᵀ`: DRAM bytes and MACs grow with `s`.
+    Scores,
+    /// Row softmax over `heads × s` attention scores.
+    Softmax,
+    /// Attention context `S·V`: DRAM bytes and MACs grow with `s`.
+    Context,
+}
+
+/// The precomputed decode plan of one `(model, quant)` pair: the full
+/// per-token op sequence with the seq-invariant ops materialized once
+/// and the seq-dependent attention ops kept as templates.
+///
+/// Build it once per model, then [`stream`](TokenPlan::stream) (or an
+/// [`OpCursor`]) yields the op sequence of any token without allocating.
+#[derive(Debug, Clone)]
+pub struct TokenPlan {
+    quant: Quant,
+    /// Per-token op sequence (templates in execution order).
+    ops: Vec<PlanOp>,
+    /// Cost slot of each op position; see [`TokenPlan::cost_slot`].
+    slots: Vec<u32>,
+    /// Representative template per slot, invariant slots first.
+    slot_reps: Vec<PlanOp>,
+    /// Ops per token mapping to each slot.
+    slot_counts: Vec<u32>,
+    /// Slots below this index are seq-invariant.
+    invariant_slots: usize,
+    // Scalars for materializing the attention templates.
+    kv_dim: u64,
+    heads: u64,
+    head_dim: u64,
+    kv_bytes: u64,
+}
+
+impl TokenPlan {
+    /// Builds the plan for `model` under `quant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ModelSpec::validate`].
+    pub fn new(model: &ModelSpec, quant: Quant) -> Self {
+        model.validate().expect("invalid model spec");
+        let h = model.hidden as u64;
+        let kv_dim = model.kv_dim() as u64;
+
+        let mut ops = Vec::new();
+        for _layer in 0..model.layers {
+            ops.push(PlanOp::Fixed(DecodeOp::Special {
+                kind: SpecialKind::Norm,
+                elems: h,
+            }));
+            ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                label: "Wq",
+                rows: model.hidden,
+                cols: model.hidden,
+            }));
+            ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                label: "Wk",
+                rows: model.kv_dim(),
+                cols: model.hidden,
+            }));
+            ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                label: "Wv",
+                rows: model.kv_dim(),
+                cols: model.hidden,
+            }));
+            if model.family == Family::Llama2 {
+                ops.push(PlanOp::Fixed(DecodeOp::Special {
+                    kind: SpecialKind::Rope,
+                    elems: h + kv_dim,
+                }));
+            }
+            ops.push(PlanOp::Fixed(DecodeOp::KvAppend {
+                bytes: 2 * kv_dim * quant.kv_bytes_per_elem(),
+            }));
+            ops.push(PlanOp::Scores);
+            ops.push(PlanOp::Softmax);
+            ops.push(PlanOp::Context);
+            ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                label: "Wo",
+                rows: model.hidden,
+                cols: model.hidden,
+            }));
+            ops.push(PlanOp::Fixed(DecodeOp::Special {
+                kind: SpecialKind::Norm,
+                elems: h,
+            }));
+            match model.family {
+                Family::Opt => {
+                    ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                        label: "W1",
+                        rows: model.ffn,
+                        cols: model.hidden,
+                    }));
+                    ops.push(PlanOp::Fixed(DecodeOp::Special {
+                        kind: SpecialKind::Relu,
+                        elems: model.ffn as u64,
+                    }));
+                    ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                        label: "W2",
+                        rows: model.hidden,
+                        cols: model.ffn,
+                    }));
+                }
+                Family::Llama2 => {
+                    ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                        label: "Wgate",
+                        rows: model.ffn,
+                        cols: model.hidden,
+                    }));
+                    ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                        label: "Wup",
+                        rows: model.ffn,
+                        cols: model.hidden,
+                    }));
+                    ops.push(PlanOp::Fixed(DecodeOp::Special {
+                        kind: SpecialKind::Silu,
+                        elems: 2 * model.ffn as u64,
+                    }));
+                    ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+                        label: "Wdown",
+                        rows: model.hidden,
+                        cols: model.ffn,
+                    }));
+                }
+            }
+        }
+        ops.push(PlanOp::Fixed(DecodeOp::Special {
+            kind: SpecialKind::Norm,
+            elems: h,
+        }));
+        ops.push(PlanOp::Fixed(DecodeOp::WeightGemv {
+            label: "lm_head",
+            rows: model.vocab,
+            cols: model.hidden,
+        }));
+
+        // Assign cost slots: invariant ops dedup by canonical shape
+        // (seq_len = 0 is representative — invariant ops don't read it),
+        // then one slot per distinct seq-dependent template.
+        let mut slot_reps: Vec<PlanOp> = Vec::new();
+        let mut slot_counts: Vec<u32> = Vec::new();
+        let mut slots = Vec::with_capacity(ops.len());
+        let assign = |templates: &mut Vec<PlanOp>, counts: &mut Vec<u32>, op: &PlanOp| -> u32 {
+            let key = |p: &PlanOp| match p {
+                PlanOp::Fixed(op) => Some(OpShape::of(op)),
+                _ => None,
+            };
+            let pos = templates.iter().position(|t| match (key(t), key(op)) {
+                (Some(a), Some(b)) => a == b,
+                (None, None) => t == op,
+                _ => false,
+            });
+            match pos {
+                Some(i) => {
+                    counts[i] += 1;
+                    i as u32
+                }
+                None => {
+                    templates.push(*op);
+                    counts.push(1);
+                    (templates.len() - 1) as u32
+                }
+            }
+        };
+        // Two passes keep all invariant slots in front of the
+        // seq-dependent ones, so `slot < invariant_slots()` is the
+        // "price once, reuse forever" test.
+        let mut dep_reps: Vec<PlanOp> = Vec::new();
+        let mut dep_counts: Vec<u32> = Vec::new();
+        for op in &ops {
+            match op {
+                PlanOp::Fixed(_) => {
+                    slots.push(assign(&mut slot_reps, &mut slot_counts, op));
+                }
+                _ => {
+                    // placeholder, patched below once the invariant
+                    // region size is known
+                    slots.push(u32::MAX - assign(&mut dep_reps, &mut dep_counts, op));
+                }
+            }
+        }
+        let invariant_slots = slot_reps.len();
+        for s in &mut slots {
+            if *s > invariant_slots as u32 {
+                *s = invariant_slots as u32 + (u32::MAX - *s);
+            }
+        }
+        slot_reps.extend(dep_reps);
+        slot_counts.extend(dep_counts);
+
+        TokenPlan {
+            quant,
+            ops,
+            slots,
+            slot_reps,
+            slot_counts,
+            invariant_slots,
+            kv_dim,
+            heads: model.heads as u64,
+            head_dim: model.head_dim() as u64,
+            kv_bytes: quant.kv_bytes_per_elem(),
+        }
+    }
+
+    /// Quantization scheme the plan was built for.
+    pub fn quant(&self) -> Quant {
+        self.quant
+    }
+
+    /// Ops per token (identical for every token of the model).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan is empty (never true for a valid model).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Materializes one template at a sequence position.
+    fn materialize(&self, op: PlanOp, seq_len: usize) -> DecodeOp {
+        let s = seq_len as u64 + 1; // including the current token
+        match op {
+            PlanOp::Fixed(op) => op,
+            PlanOp::Scores => DecodeOp::KvMatVec {
+                label: "scores",
+                dram_bytes: s * self.kv_dim * self.kv_bytes,
+                ops: 2 * self.heads * s * self.head_dim,
+            },
+            PlanOp::Softmax => DecodeOp::Special {
+                kind: SpecialKind::Softmax,
+                elems: self.heads * s,
+            },
+            PlanOp::Context => DecodeOp::KvMatVec {
+                label: "context",
+                dram_bytes: s * self.kv_dim * self.kv_bytes,
+                ops: 2 * self.heads * s * self.head_dim,
+            },
+        }
+    }
+
+    /// The `idx`-th op of a token generated at position `seq_len`
+    /// (the KV cache holds `seq_len` entries). O(1), no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn op_at(&self, idx: usize, seq_len: usize) -> DecodeOp {
+        self.materialize(self.ops[idx], seq_len)
+    }
+
+    /// Cost slot of the `idx`-th op. Two positions share a slot exactly
+    /// when their ops have identical execution cost at every sequence
+    /// position (same canonical shape for invariant ops, same template
+    /// for attention ops), so a per-slot cost table replaces per-op
+    /// pricing.
+    #[inline]
+    pub fn cost_slot(&self, idx: usize) -> usize {
+        self.slots[idx] as usize
+    }
+
+    /// Number of distinct cost slots (a few per model, vs hundreds of
+    /// ops per token).
+    pub fn cost_slots(&self) -> usize {
+        self.slot_reps.len()
+    }
+
+    /// Slots `0..invariant_slots()` are seq-invariant: price once per
+    /// system, reuse for every token. The remaining slots must be
+    /// re-priced per sequence position.
+    pub fn invariant_slots(&self) -> usize {
+        self.invariant_slots
+    }
+
+    /// A representative op of `slot` at `seq_len` (invariant slots
+    /// ignore `seq_len`). Pricing this op prices every op in the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= cost_slots()`.
+    pub fn slot_op(&self, slot: usize, seq_len: usize) -> DecodeOp {
+        self.materialize(self.slot_reps[slot], seq_len)
+    }
+
+    /// How many ops of one token map to `slot`.
+    pub fn slot_count(&self, slot: usize) -> u32 {
+        self.slot_counts[slot]
+    }
+
+    /// A lazy iterator over the ops of one token at position `seq_len`.
+    /// Equivalent to `decode_step(model, quant, seq_len).ops` without
+    /// the allocation.
+    pub fn stream(&self, seq_len: usize) -> OpStream<'_> {
+        OpStream {
+            plan: self,
+            cursor: OpCursor::new(seq_len),
+        }
+    }
+}
+
+/// A detached position in a [`TokenPlan`]'s op sequence.
+///
+/// The cursor does not borrow the plan, so long-lived schedulers (one
+/// cursor per in-flight request, one shared plan) can store it inline;
+/// pass the plan to each method. For simple iteration use
+/// [`TokenPlan::stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCursor {
+    seq_len: usize,
+    idx: usize,
+}
+
+impl OpCursor {
+    /// A cursor at the first op of a token generated at `seq_len`.
+    pub fn new(seq_len: usize) -> Self {
+        OpCursor { seq_len, idx: 0 }
+    }
+
+    /// Sequence position this cursor's token is generated at.
+    #[inline]
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Index of the current op within the token.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether every op of the token has been yielded.
+    #[inline]
+    pub fn exhausted(&self, plan: &TokenPlan) -> bool {
+        self.idx >= plan.len()
+    }
+
+    /// The current op, or `None` when exhausted. O(1), no allocation.
+    pub fn peek(&self, plan: &TokenPlan) -> Option<DecodeOp> {
+        (self.idx < plan.len()).then(|| plan.op_at(self.idx, self.seq_len))
+    }
+
+    /// Steps past the current op.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.idx += 1;
+    }
+
+    /// Yields the current op and steps past it.
+    pub fn next_op(&mut self, plan: &TokenPlan) -> Option<DecodeOp> {
+        let op = self.peek(plan)?;
+        self.idx += 1;
+        Some(op)
+    }
+
+    /// Resets to the first op of the *next* token (one more entry in
+    /// the KV cache).
+    pub fn next_token(&mut self) {
+        self.seq_len += 1;
+        self.idx = 0;
+    }
+
+    /// Resets to the first op of a token at `seq_len`.
+    pub fn reset(&mut self, seq_len: usize) {
+        self.seq_len = seq_len;
+        self.idx = 0;
+    }
+}
+
+/// Borrowing iterator over one token's ops; see [`TokenPlan::stream`].
+#[derive(Debug, Clone)]
+pub struct OpStream<'a> {
+    plan: &'a TokenPlan,
+    cursor: OpCursor,
+}
+
+impl OpStream<'_> {
+    /// The next op without advancing.
+    pub fn peek(&self) -> Option<DecodeOp> {
+        self.cursor.peek(self.plan)
+    }
+}
+
+impl Iterator for OpStream<'_> {
+    type Item = DecodeOp;
+
+    fn next(&mut self) -> Option<DecodeOp> {
+        self.cursor.next_op(self.plan)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.plan.len() - self.cursor.index().min(self.plan.len());
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OpStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::decode_step;
+    use crate::zoo;
+
+    #[test]
+    fn stream_matches_eager_enumeration() {
+        for model in [zoo::opt_6_7b(), zoo::llama2_70b()] {
+            for quant in Quant::all() {
+                for seq in [0usize, 1, 100, 1000] {
+                    let plan = TokenPlan::new(&model, quant);
+                    let eager = decode_step(&model, quant, seq).ops;
+                    let lazy: Vec<DecodeOp> = plan.stream(seq).collect();
+                    assert_eq!(lazy, eager, "{} {quant} seq {seq}", model.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_partition_ops_by_cost_identity() {
+        let plan = TokenPlan::new(&zoo::llama2_70b(), Quant::W8A8);
+        // Counts over slots cover every op position.
+        let total: u32 = (0..plan.cost_slots()).map(|s| plan.slot_count(s)).sum();
+        assert_eq!(total as usize, plan.len());
+        // Same slot ⇒ same canonical shape at any seq position.
+        for seq in [3usize, 512] {
+            for idx in 0..plan.len() {
+                let slot = plan.cost_slot(idx);
+                let a = plan.op_at(idx, seq);
+                let b = plan.slot_op(slot, seq);
+                assert_eq!(OpShape::of(&a), OpShape::of(&b), "idx {idx} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_slots_ignore_seq_len() {
+        let plan = TokenPlan::new(&zoo::opt_13b(), Quant::W4A16);
+        for slot in 0..plan.invariant_slots() {
+            assert_eq!(plan.slot_op(slot, 0), plan.slot_op(slot, 4096));
+        }
+        for slot in plan.invariant_slots()..plan.cost_slots() {
+            assert_ne!(plan.slot_op(slot, 0), plan.slot_op(slot, 4096));
+        }
+    }
+
+    #[test]
+    fn far_fewer_slots_than_ops() {
+        let plan = TokenPlan::new(&zoo::llama2_70b(), Quant::W8A8);
+        assert_eq!(plan.len(), 1202); // 80 layers × 15 ops + final norm + head
+                                      // Gemv shapes collapse (Wq/Wo, Wk/Wv, Wgate/Wup share shapes),
+                                      // norms collapse, plus scores/softmax/context.
+        assert!(plan.cost_slots() <= 14, "{}", plan.cost_slots());
+        assert_eq!(plan.cost_slots() - plan.invariant_slots(), 3);
+    }
+
+    #[test]
+    fn cursor_walks_tokens_without_allocation() {
+        let model = zoo::opt_6_7b();
+        let plan = TokenPlan::new(&model, Quant::W8A8);
+        let mut cursor = OpCursor::new(100);
+        let mut n = 0;
+        while let Some(op) = cursor.next_op(&plan) {
+            assert_eq!(op, plan.op_at(n, 100));
+            n += 1;
+        }
+        assert_eq!(n, plan.len());
+        assert!(cursor.exhausted(&plan));
+        cursor.next_token();
+        assert_eq!(cursor.seq_len(), 101);
+        assert_eq!(cursor.index(), 0);
+        assert_eq!(
+            cursor.peek(&plan),
+            Some(decode_step(&model, Quant::W8A8, 101).ops[0])
+        );
+    }
+
+    #[test]
+    fn stream_is_exact_size() {
+        let plan = TokenPlan::new(&zoo::llama2_7b(), Quant::W8A8);
+        let mut s = plan.stream(10);
+        assert_eq!(s.len(), plan.len());
+        s.next();
+        assert_eq!(s.len(), plan.len() - 1);
+    }
+}

@@ -1,6 +1,14 @@
-//! Property tests for workload generation.
+//! Property tests for workload generation, including the contract that
+//! pins the lazy [`TokenPlan`] op stream to the eager [`decode_step`]
+//! enumeration. `decode_step` is the readable, push-based
+//! *specification* of the decode op sequence; `TokenPlan` / `OpStream`
+//! / `OpCursor` are the allocation-free representation the serving hot
+//! path runs on. The two are written independently on purpose, and
+//! these tests keep them observably identical for arbitrary
+//! `(model, quant, seq_len)` — the optimization must never change what
+//! is simulated, only how fast.
 
-use llm_workload::{decode_step, kv, zoo, DecodeOp, Quant};
+use llm_workload::{decode_step, kv, zoo, DecodeOp, OpCursor, Quant, TokenPlan};
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = llm_workload::ModelSpec> {
@@ -97,5 +105,93 @@ proptest! {
         let i = step.total_ops() as f64
             / (step.total_weight_bytes() + step.total_dram_bytes()) as f64;
         prop_assert!((1.4..2.6).contains(&i), "{}: {i}", model.name);
+    }
+
+    /// The lazy stream yields exactly the eager op sequence: same
+    /// length, same ops, same order.
+    #[test]
+    fn op_stream_equals_eager_decode_step(
+        model in arb_model(),
+        quant in arb_quant(),
+        seq_len in 0usize..4096,
+    ) {
+        let plan = TokenPlan::new(&model, quant);
+        let eager = decode_step(&model, quant, seq_len).ops;
+        prop_assert_eq!(plan.len(), eager.len());
+        let lazy: Vec<DecodeOp> = plan.stream(seq_len).collect();
+        prop_assert_eq!(lazy, eager, "{} {} seq {}", model.name, quant, seq_len);
+    }
+
+    /// Random access (`op_at`), cursor iteration, and the stream
+    /// iterator all agree — the cursor the serving engine drives is
+    /// just another view of the same sequence.
+    #[test]
+    fn cursor_and_random_access_agree(
+        model in arb_model(),
+        quant in arb_quant(),
+        seq_len in 0usize..2048,
+    ) {
+        let plan = TokenPlan::new(&model, quant);
+        let mut cursor = OpCursor::new(seq_len);
+        let mut stream = plan.stream(seq_len);
+        for idx in 0..plan.len() {
+            let direct = plan.op_at(idx, seq_len);
+            prop_assert_eq!(cursor.index(), idx);
+            prop_assert_eq!(cursor.next_op(&plan), Some(direct));
+            prop_assert_eq!(stream.next(), Some(direct));
+        }
+        prop_assert!(cursor.exhausted(&plan));
+        prop_assert_eq!(stream.next(), None);
+    }
+
+    /// Stepping the cursor to the next token equals rebuilding the
+    /// stream at `seq_len + 1` — the serving engine's per-token reuse
+    /// is sound.
+    #[test]
+    fn next_token_matches_fresh_stream(
+        model in arb_model(),
+        quant in arb_quant(),
+        seq_len in 0usize..2048,
+        tokens in 1usize..4,
+    ) {
+        let plan = TokenPlan::new(&model, quant);
+        let mut cursor = OpCursor::new(seq_len);
+        for t in 0..tokens {
+            let eager = decode_step(&model, quant, seq_len + t).ops;
+            for op in eager {
+                prop_assert_eq!(cursor.next_op(&plan), Some(op));
+            }
+            cursor.next_token();
+        }
+        prop_assert_eq!(cursor.seq_len(), seq_len + tokens);
+        prop_assert_eq!(cursor.index(), 0);
+    }
+
+    /// Slot pricing is sound: every op position's cost accounting
+    /// (weight bytes, op count, DRAM bytes — the inputs of every cost
+    /// formula) matches its slot representative at the same position,
+    /// and slot occurrence counts cover the whole token, so a per-slot
+    /// cost table prices a token exactly.
+    #[test]
+    fn slot_representatives_cover_the_token(
+        model in arb_model(),
+        quant in arb_quant(),
+        seq_len in 0usize..2048,
+    ) {
+        let plan = TokenPlan::new(&model, quant);
+        let total: u32 = (0..plan.cost_slots()).map(|s| plan.slot_count(s)).sum();
+        prop_assert_eq!(total as usize, plan.len());
+        let account = |op: &DecodeOp| (op.weight_bytes(quant), op.ops(), op.dram_bytes());
+        for idx in 0..plan.len() {
+            let op = plan.op_at(idx, seq_len);
+            let rep = plan.slot_op(plan.cost_slot(idx), seq_len);
+            prop_assert_eq!(account(&op), account(&rep), "idx {}", idx);
+        }
+        // Per-token totals reconstructed from slots match the eager step.
+        let step = decode_step(&model, quant, seq_len);
+        let from_slots: u64 = (0..plan.cost_slots())
+            .map(|s| plan.slot_count(s) as u64 * plan.slot_op(s, seq_len).ops())
+            .sum();
+        prop_assert_eq!(from_slots, step.total_ops());
     }
 }

@@ -45,5 +45,5 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use rng::SplitMix64;
-pub use stats::{Aggregate, BusyTracker, Counter, Samples};
+pub use stats::{Aggregate, BusyTracker, CacheStats, Counter, Samples};
 pub use time::{transfer_time, SimTime};

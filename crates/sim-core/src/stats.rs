@@ -87,6 +87,63 @@ impl BusyTracker {
     }
 }
 
+/// Hit/miss counters for a memoization cache (the GeMV cache and the
+/// op-cost cache in the system simulator both report through this).
+///
+/// A *hit* is a lookup served from memory; a *miss* is a lookup that had
+/// to run the underlying computation. The split is what serving reports
+/// surface to show how much work the fleet shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one lookup served from memory.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one lookup that ran the underlying computation.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Lookups served from memory.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the underlying computation.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total lookups observed.
+    #[inline]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from memory (0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups() as f64
+    }
+}
+
 /// A labelled monotone counter (bytes moved, requests served, ops run).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counter {
@@ -311,6 +368,20 @@ mod tests {
         t.add_interval(SimTime::ZERO, SimTime::from_nanos(100));
         assert!((t.utilization(SimTime::from_nanos(100)) - 1.0).abs() < 1e-12);
         assert_eq!(BusyTracker::new().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_track_hits_and_misses() {
+        let mut c = CacheStats::new();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.miss();
+        c.hit();
+        c.hit();
+        c.hit();
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.lookups(), 4);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -12,6 +12,13 @@ test: build
 bench:
     cargo bench -p bench
 
+# Serving hot-path benchmark: measures simulated-tokens-per-wall-second
+# on the 70B serving scenario and records the perf trajectory in
+# BENCH_serving.json (compare against the committed numbers before and
+# after touching the serve/system hot path).
+perf:
+    cargo run --release -p bench --bin serve_throughput
+
 # Regenerate every paper table/figure ("full" for full-resolution sweeps).
 repro target="all":
     cargo run --release -p bench --bin repro -- {{target}}

@@ -1,8 +1,340 @@
 //! Integration tests for the multi-request serving engine: determinism
-//! across runs, and consistency with the single-request simulator.
+//! across runs, consistency with the single-request simulator, and
+//! golden reports pinning the optimized hot path to the original
+//! engine's output bit for bit.
 
 use cambricon_llm_repro::prelude::*;
 use proptest::prelude::*;
+use sim_core::SimTime;
+
+/// Golden values for the 70B serving scenarios, captured from the
+/// pre-optimization engine (PR 1's per-token `decode_step` + linear
+/// ready-list scan + `sim_core::EventQueue`). The op-stream/cost-cache
+/// rewrite must reproduce every field exactly — same virtual
+/// timestamps, same utilizations, same traffic, same cache accounting —
+/// proving the optimization changed no simulated semantics.
+mod golden {
+    /// (makespan ps, tokens/s, p50 s, p99 s, mean s, flash util,
+    ///  npu util, gemv hits, gemv misses,
+    ///  per-request (id, arrived, started, first_token, finished) ps).
+    pub struct Scenario {
+        pub makespan_ps: u64,
+        pub tokens_per_sec: f64,
+        pub p50_s: f64,
+        pub p99_s: f64,
+        pub mean_s: f64,
+        pub queue_mean_s: f64,
+        pub queue_max_s: f64,
+        pub flash_util: f64,
+        pub npu_util: f64,
+        pub gemv_hits: u64,
+        pub gemv_misses: u64,
+        pub dram_bytes: u64,
+        pub npu_ops: u64,
+        pub requests: &'static [(usize, u64, u64, u64, u64)],
+    }
+
+    /// `closed_loop(4, 2, RequestShape::new(1000, 3))`, FCFS.
+    pub const CLOSED_FCFS: Scenario = Scenario {
+        makespan_ps: 5_762_218_396_000,
+        tokens_per_sec: 4.165062541999493,
+        p50_s: 0.383882944,
+        p99_s: 2.250187812,
+        mean_s: 0.8137854537,
+        queue_mean_s: 7.590000000000001e-7,
+        queue_max_s: 3.036e-6,
+        flash_util: 0.9983870830014961,
+        npu_util: 0.02101132440312316,
+        gemv_hits: 13459,
+        gemv_misses: 5,
+        dram_bytes: 3_943_956_480,
+        npu_ops: 257_219_887_104,
+        requests: &[
+            (0, 0, 0, 382_997_332_000, 1_150_131_284_000),
+            (1, 0, 1_012_000, 637_969_892_000, 1_609_240_932_000),
+            (2, 0, 2_024_000, 1_717_341_220_000, 2_484_263_748_000),
+            (3, 0, 3_036_000, 2_250_187_812_000, 3_110_205_172_000),
+            (
+                4,
+                1_150_131_284_000,
+                1_150_131_284_000,
+                3_119_408_324_000,
+                3_886_374_116_000,
+            ),
+            (
+                5,
+                1_609_240_932_000,
+                1_609_240_932_000,
+                3_748_719_460_000,
+                4_572_565_588_000,
+            ),
+            (
+                6,
+                2_484_263_748_000,
+                2_484_263_748_000,
+                4_523_915_252_000,
+                5_309_692_788_800,
+            ),
+            (
+                7,
+                3_110_205_172_000,
+                3_110_205_172_000,
+                5_210_293_508_800,
+                5_762_218_396_000,
+            ),
+        ],
+    };
+
+    /// Same trace, round-robin.
+    pub const CLOSED_RR: Scenario = Scenario {
+        makespan_ps: 5_752_925_428_000,
+        tokens_per_sec: 4.171790561231658,
+        p50_s: 0.958820736,
+        p99_s: 0.9591197,
+        mean_s: 0.9584665193333333,
+        queue_mean_s: 7.590000000000001e-7,
+        queue_max_s: 3.036e-6,
+        flash_util: 0.999999824089498,
+        npu_util: 0.0210452649726229,
+        gemv_hits: 13459,
+        gemv_misses: 5,
+        dram_bytes: 3_943_956_480,
+        npu_ops: 257_219_887_104,
+        requests: &[
+            (0, 0, 0, 952_976_372_000, 2_870_617_844_000),
+            (1, 0, 1_012_000, 957_303_188_000, 2_874_944_660_000),
+            (2, 0, 2_024_000, 958_233_076_000, 2_875_874_548_000),
+            (3, 0, 3_036_000, 959_119_700_000, 2_876_761_172_000),
+            (
+                4,
+                2_870_617_844_000,
+                2_870_617_844_000,
+                3_829_438_580_000,
+                5_747_080_052_000,
+            ),
+            (
+                5,
+                2_874_944_660_000,
+                2_874_944_660_000,
+                3_833_765_396_000,
+                5_751_152_180_000,
+            ),
+            (
+                6,
+                2_875_874_548_000,
+                2_875_874_548_000,
+                3_834_695_284_000,
+                5_752_038_804_000,
+            ),
+            (
+                7,
+                2_876_761_172_000,
+                2_876_761_172_000,
+                3_835_581_908_000,
+                5_752_925_428_000,
+            ),
+        ],
+    };
+
+    /// `poisson(8.0, 6, RequestShape::new(640, 4), 2024)`, FCFS.
+    pub const OPEN_FCFS: Scenario = Scenario {
+        makespan_ps: 5_761_656_395_200,
+        tokens_per_sec: 4.165468808586755,
+        p50_s: 0.376861296,
+        p99_s: 4.411633940382,
+        mean_s: 0.8825800922482082,
+        queue_mean_s: 0.0,
+        queue_max_s: 0.0,
+        flash_util: 0.9984844672085488,
+        npu_util: 0.014400475541915739,
+        gemv_hits: 13459,
+        gemv_misses: 5,
+        dram_bytes: 2_530_344_960,
+        npu_ops: 234_602_102_784,
+        requests: &[
+            (
+                0,
+                121_861_045_766,
+                121_861_045_766,
+                490_397_401_766,
+                1_620_349_513_766,
+            ),
+            (
+                1,
+                134_647_243_088,
+                134_647_243_088,
+                793_133_673_766,
+                2_278_532_585_766,
+            ),
+            (
+                2,
+                178_977_612_372,
+                178_977_612_372,
+                2_279_419_209_766,
+                3_408_739_385_766,
+            ),
+            (
+                3,
+                194_416_296_435,
+                194_416_296_435,
+                2_937_147_161_766,
+                4_269_302_153_766,
+            ),
+            (
+                4,
+                416_336_576_794,
+                416_336_576_794,
+                4_067_809_081_766,
+                5_284_544_345_766,
+            ),
+            (
+                5,
+                516_824_437_384,
+                516_824_437_384,
+                4_928_458_377_766,
+                5_883_517_440_966,
+            ),
+        ],
+    };
+
+    /// Same trace, round-robin.
+    pub const OPEN_RR: Scenario = Scenario {
+        makespan_ps: 5_753_401_736_000,
+        tokens_per_sec: 4.171445190386754,
+        p50_s: 1.438231104,
+        p99_s: 1.438231104,
+        mean_s: 1.3678293714482084,
+        queue_mean_s: 0.0,
+        queue_max_s: 0.0,
+        flash_util: 0.9999170369075718,
+        npu_util: 0.01442113653924757,
+        gemv_hits: 13459,
+        gemv_misses: 5,
+        dram_bytes: 2_530_344_960,
+        npu_ops: 234_602_102_784,
+        requests: &[
+            (
+                0,
+                121_861_045_766,
+                121_861_045_766,
+                1_247_990_617_766,
+                5_562_683_929_766,
+            ),
+            (
+                1,
+                134_647_243_088,
+                134_647_243_088,
+                1_332_463_897_766,
+                5_634_620_377_766,
+            ),
+            (
+                2,
+                178_977_612_372,
+                178_977_612_372,
+                1_463_563_017_766,
+                5_723_173_017_766,
+            ),
+            (
+                3,
+                194_416_296_435,
+                194_416_296_435,
+                1_498_424_905_766,
+                5_741_673_081_766,
+            ),
+            (
+                4,
+                416_336_576_794,
+                416_336_576_794,
+                1_832_362_473_766,
+                5_853_554_937_766,
+            ),
+            (
+                5,
+                516_824_437_384,
+                516_824_437_384,
+                1_954_337_737_766,
+                5_875_262_781_766,
+            ),
+        ],
+    };
+}
+
+fn assert_matches_golden(rep: &ServeReport, g: &golden::Scenario) {
+    assert_eq!(rep.makespan, SimTime::from_picos(g.makespan_ps));
+    assert_eq!(rep.requests_served, g.requests.len());
+    assert_eq!(rep.tokens_per_sec, g.tokens_per_sec);
+    assert_eq!(rep.p50_token_latency_s, g.p50_s);
+    assert_eq!(rep.p99_token_latency_s, g.p99_s);
+    assert_eq!(rep.mean_token_latency_s, g.mean_s);
+    assert_eq!(rep.queueing_delay_s.mean(), Some(g.queue_mean_s));
+    assert_eq!(rep.queueing_delay_s.max(), Some(g.queue_max_s));
+    assert_eq!(rep.flash_utilization, g.flash_util);
+    assert_eq!(rep.npu_utilization, g.npu_util);
+    assert_eq!(rep.gemv_cache_hits, g.gemv_hits);
+    assert_eq!(rep.gemv_cache_misses, g.gemv_misses);
+    assert_eq!(rep.traffic.dram_bytes, g.dram_bytes);
+    assert_eq!(rep.traffic.npu_ops, g.npu_ops);
+    assert_eq!(rep.requests.len(), g.requests.len());
+    for (got, &(id, arrived, started, first, finished)) in rep.requests.iter().zip(g.requests) {
+        assert_eq!(got.id, id);
+        assert_eq!(got.arrived, SimTime::from_picos(arrived), "req {id}");
+        assert_eq!(got.started, SimTime::from_picos(started), "req {id}");
+        assert_eq!(got.first_token, SimTime::from_picos(first), "req {id}");
+        assert_eq!(got.finished, SimTime::from_picos(finished), "req {id}");
+    }
+    // The traffic invariant behind the scenario: all Llama2-70B weights
+    // stream from NAND once per token.
+    assert_eq!(rep.traffic.nand_array_bytes, 1_649_116_446_720);
+}
+
+#[test]
+fn golden_70b_closed_loop_reports_are_unchanged() {
+    let engine = ServeEngine::new(SystemConfig::cambricon_l(), zoo::llama2_70b());
+    let trace = ArrivalTrace::closed_loop(4, 2, RequestShape::new(1000, 3));
+    assert_matches_golden(
+        &engine.run(&trace, SchedulePolicy::Fcfs),
+        &golden::CLOSED_FCFS,
+    );
+    assert_matches_golden(
+        &engine.run(&trace, SchedulePolicy::RoundRobin),
+        &golden::CLOSED_RR,
+    );
+}
+
+#[test]
+fn golden_70b_open_trace_reports_are_unchanged() {
+    let engine = ServeEngine::new(SystemConfig::cambricon_l(), zoo::llama2_70b());
+    let trace = ArrivalTrace::poisson(8.0, 6, RequestShape::new(640, 4), 2024);
+    assert_matches_golden(
+        &engine.run(&trace, SchedulePolicy::Fcfs),
+        &golden::OPEN_FCFS,
+    );
+    assert_matches_golden(
+        &engine.run(&trace, SchedulePolicy::RoundRobin),
+        &golden::OPEN_RR,
+    );
+}
+
+#[test]
+fn op_cost_cache_stats_surface_in_reports() {
+    // The memo's effectiveness is visible in every serving report:
+    // hits + misses partition the dispatched ops exactly, and misses
+    // stay near the distinct-shape count.
+    let engine = ServeEngine::new(SystemConfig::cambricon_l(), zoo::llama2_70b());
+    let trace = ArrivalTrace::closed_loop(4, 2, RequestShape::new(1000, 3));
+    let rep = engine.run(&trace, SchedulePolicy::RoundRobin);
+    let ops_per_token = 80 * 15 + 2; // Llama2-70B plan length
+    assert_eq!(
+        rep.op_cost_cache_hits + rep.op_cost_cache_misses,
+        rep.tokens_served * ops_per_token
+    );
+    assert!(
+        rep.op_cost_cache_misses < 40,
+        "{}",
+        rep.op_cost_cache_misses
+    );
+    assert!(rep.summary().contains("op-cost cache"));
+}
 
 fn arb_model() -> impl proptest::Strategy<Value = llm_workload::ModelSpec> {
     prop_oneof![
