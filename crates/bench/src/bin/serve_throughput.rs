@@ -4,8 +4,12 @@
 //! Cambricon-LLM-L, a closed-loop fleet of clients) and measures how
 //! many *simulated* tokens the engine retires per *wall-clock* second —
 //! the number that bounds how large a traffic sweep the simulator can
-//! explore. Emits `BENCH_serving.json` so every PR leaves a perf
-//! trajectory behind (`just perf`; CI runs one iteration as a smoke
+//! explore. The same scenario is then run under
+//! `ContinuousBatch { max_batch: clients }`, recording both the
+//! engine's wall-clock rate and the *simulated* serving speedup over
+//! FCFS (with batch occupancy and KV rejections), so the batched
+//! scheduler's trajectory lives in the same file. Emits
+//! `BENCH_serving.json` (`just perf`; CI runs one iteration as a smoke
 //! test so the binary cannot rot).
 //!
 //! ```text
@@ -91,14 +95,68 @@ fn main() {
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
     println!("best {best:.0} tok/s-wall, mean {mean:.0} tok/s-wall");
 
-    let iters_json = rates
-        .iter()
-        .map(|r| format!("{r:.1}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    // Batched variant: same fleet under continuous batching. The wall
+    // rate tracks the batched loop's own hot path; the simulated
+    // numbers record what the policy buys (weight-stream amortization
+    // over FCFS) and its admission behaviour.
+    let policy = SchedulePolicy::ContinuousBatch {
+        max_batch: args.clients,
+    };
+    let fcfs_sim = engine.run(&trace, SchedulePolicy::Fcfs).tokens_per_sec;
+    let warm_b = engine.run(&trace, policy);
+    let tokens_b = warm_b.tokens_served;
+    println!(
+        "batched({}): simulated {:.2} tok/s vs FCFS {:.2} ({:.2}x), occupancy {:.2} (peak {}), {} kv rejections",
+        args.clients,
+        warm_b.tokens_per_sec,
+        fcfs_sim,
+        warm_b.tokens_per_sec / fcfs_sim,
+        warm_b.mean_batch_occupancy,
+        warm_b.peak_batch_occupancy,
+        warm_b.kv_rejections,
+    );
+    let mut rates_b = Vec::with_capacity(args.iters);
+    for i in 0..args.iters {
+        let t0 = Instant::now();
+        let rep = engine.run(&trace, policy);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(rep.tokens_served, tokens_b, "non-deterministic run");
+        let rate = tokens_b as f64 / wall;
+        println!("  batched iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s");
+        rates_b.push(rate);
+    }
+    let best_b = rates_b.iter().cloned().fold(f64::MIN, f64::max);
+    let mean_b = rates_b.iter().sum::<f64>() / rates_b.len() as f64;
+    println!("batched best {best_b:.0} tok/s-wall, mean {mean_b:.0} tok/s-wall");
+
+    let iters_json = |rates: &[f64]| {
+        rates
+            .iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"scenario\": {{\n    \"model\": \"{}\",\n    \"config\": \"{}\",\n    \"clients\": {},\n    \"prompt_len\": 1000,\n    \"new_tokens\": {},\n    \"policy\": \"RoundRobin\"\n  }},\n  \"tokens_served\": {},\n  \"iterations\": [{}],\n  \"sim_tokens_per_wall_sec_best\": {:.1},\n  \"sim_tokens_per_wall_sec_mean\": {:.1}\n}}\n",
-        model.name, cfg.name, args.clients, args.tokens, tokens, iters_json, best, mean
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"scenario\": {{\n    \"model\": \"{}\",\n    \"config\": \"{}\",\n    \"clients\": {},\n    \"prompt_len\": 1000,\n    \"new_tokens\": {},\n    \"policy\": \"RoundRobin\"\n  }},\n  \"tokens_served\": {},\n  \"iterations\": [{}],\n  \"sim_tokens_per_wall_sec_best\": {:.1},\n  \"sim_tokens_per_wall_sec_mean\": {:.1},\n  \"batched\": {{\n    \"policy\": \"ContinuousBatch\",\n    \"max_batch\": {},\n    \"tokens_served\": {},\n    \"sim_tokens_per_sec\": {:.4},\n    \"fcfs_sim_tokens_per_sec\": {:.4},\n    \"sim_speedup_vs_fcfs\": {:.4},\n    \"mean_batch_occupancy\": {:.4},\n    \"peak_batch_occupancy\": {},\n    \"kv_rejections\": {},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }}\n}}\n",
+        model.name,
+        cfg.name,
+        args.clients,
+        args.tokens,
+        tokens,
+        iters_json(&rates),
+        best,
+        mean,
+        args.clients,
+        tokens_b,
+        warm_b.tokens_per_sec,
+        fcfs_sim,
+        warm_b.tokens_per_sec / fcfs_sim,
+        warm_b.mean_batch_occupancy,
+        warm_b.peak_batch_occupancy,
+        warm_b.kv_rejections,
+        iters_json(&rates_b),
+        best_b,
+        mean_b
     );
     std::fs::write(&args.out, json).expect("write benchmark json");
     println!("wrote {}", args.out);

@@ -572,39 +572,56 @@ pub fn prefill_table() -> TextTable {
 /// columns show how far the fleet amortizes pricing — the GeMV cache
 /// keeps the whole ladder at one flash simulation per distinct weight
 /// shape, and the op-cost cache turns all repeated op pricings into
-/// recalls.
+/// recalls. Each rung is shown under round-robin interleaving and under
+/// continuous batching, whose occupancy and KV-rejection columns
+/// surface the batched scheduler's admission behaviour (one weight
+/// stream per batch step is why its throughput pulls ahead as the
+/// rung widens).
 pub fn serving_table() -> TextTable {
     let mut t = TextTable::new([
         "Clients",
+        "Policy",
         "tok/s",
         "p50 ms/tok",
         "p99 ms/tok",
         "Slowdown",
-        "Linear",
         "GeMV hit/miss",
         "OpCost hit/miss",
+        "Occupancy",
+        "KV-rej",
     ]);
     let engine = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b());
     let shape = RequestShape::new(SEQ, 4);
     let mut single = 0.0;
     for clients in [1usize, 2, 4] {
-        let rep = engine.run(
-            &ArrivalTrace::closed_loop(clients, 1, shape),
-            SchedulePolicy::RoundRobin,
-        );
-        if clients == 1 {
-            single = rep.mean_token_latency_s;
+        let trace = ArrivalTrace::closed_loop(clients, 1, shape);
+        for (name, policy) in [
+            ("round-robin", SchedulePolicy::RoundRobin),
+            (
+                "cont-batch",
+                SchedulePolicy::ContinuousBatch { max_batch: clients },
+            ),
+        ] {
+            let rep = engine.run(&trace, policy);
+            if clients == 1 && policy == SchedulePolicy::RoundRobin {
+                single = rep.mean_token_latency_s;
+            }
+            t.row([
+                clients.to_string(),
+                name.to_string(),
+                num(rep.tokens_per_sec),
+                num(rep.p50_token_latency_s * 1e3),
+                num(rep.p99_token_latency_s * 1e3),
+                format!("{:.2}x", rep.mean_token_latency_s / single),
+                format!("{}/{}", rep.gemv_cache_hits, rep.gemv_cache_misses),
+                format!("{}/{}", rep.op_cost_cache_hits, rep.op_cost_cache_misses),
+                format!(
+                    "{:.2} (peak {})",
+                    rep.mean_batch_occupancy, rep.peak_batch_occupancy
+                ),
+                rep.kv_rejections.to_string(),
+            ]);
         }
-        t.row([
-            clients.to_string(),
-            num(rep.tokens_per_sec),
-            num(rep.p50_token_latency_s * 1e3),
-            num(rep.p99_token_latency_s * 1e3),
-            format!("{:.2}x", rep.mean_token_latency_s / single),
-            format!("{clients}.00x"),
-            format!("{}/{}", rep.gemv_cache_hits, rep.gemv_cache_misses),
-            format!("{}/{}", rep.op_cost_cache_hits, rep.op_cost_cache_misses),
-        ]);
     }
     t
 }
@@ -616,9 +633,11 @@ mod tests {
     #[test]
     fn serving_table_shows_sublinear_slowdown() {
         let t = serving_table();
-        assert_eq!(t.len(), 3);
+        assert_eq!(t.len(), 6); // round-robin + cont-batch per rung
         let rendered = t.render();
         assert!(rendered.contains("1.00x"), "{rendered}");
+        assert!(rendered.contains("cont-batch"), "{rendered}");
+        assert!(rendered.contains("peak"), "{rendered}");
     }
 
     #[test]

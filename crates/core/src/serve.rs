@@ -27,6 +27,27 @@
 //! real serving stack that pipelines prefill/attention against weight
 //! streaming.
 //!
+//! # Continuous batching
+//!
+//! [`SchedulePolicy::ContinuousBatch`] goes one step further than
+//! overlap: up to `max_batch` requests march through the shared plan in
+//! **lockstep** — a batch step is one plan walk with many cursors
+//! parked at the same position. Each weight GeMV then streams from
+//! NAND **once per step** for the whole batch (seq-invariant slots are
+//! priced once per plan through the [`PlanTable`]), while the three
+//! attention slots are re-priced per request from its own
+//! [`OpCursor::seq_len`]. That amortization of the per-token weight
+//! fetch is exactly what makes cloud serving batch-efficient (§III-A's
+//! arithmetic-intensity cliff), applied to the edge device. New
+//! requests join the running batch at token boundaries, and admission
+//! is gated on [`npu_sim::KvCache`] capacity: each admitted request
+//! reserves DRAM for its whole context and releases it on completion,
+//! so an oversubscribed trace queues (FIFO, head-of-line, starvation
+//! free) instead of silently over-committing memory. Requests whose
+//! context can never fit are rejected and counted
+//! ([`ServeReport::kv_rejections`]); batch occupancy is reported
+//! time-weighted ([`ServeReport::mean_batch_occupancy`]).
+//!
 //! # Hot-path structure
 //!
 //! The engine retires one simulated op per event, so op dispatch is the
@@ -81,10 +102,12 @@
 
 use crate::config::SystemConfig;
 use crate::system::{OpClass, System, TrafficBreakdown};
+use llm_workload::kv::kv_bytes_per_token;
 use llm_workload::{ArrivalTrace, ModelSpec, OpCursor, RequestShape, TokenPlan};
+use npu_sim::KvCache;
 use sim_core::{Aggregate, BusyTracker, Samples, SimTime};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// How a freed resource picks the next waiting request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +119,24 @@ pub enum SchedulePolicy {
     /// Round-robin: the least-recently-scheduled waiting request wins,
     /// interleaving per-token progress fairly across in-flight requests.
     RoundRobin,
+    /// Continuous batching: up to `max_batch` in-flight requests march
+    /// through the shared [`TokenPlan`] in **lockstep** — one batch
+    /// step is one plan walk with many cursors parked at the same
+    /// position. Each weight GeMV streams from NAND **once** per step
+    /// for the whole batch (the cloud-style amortization of §III-A),
+    /// while per-request NPU work (attention, softmax, KV appends)
+    /// repeats per batch member at its own sequence position. New
+    /// requests join the running batch at token boundaries, FIFO, and
+    /// admission is gated on [`npu_sim::KvCache`] capacity: a request
+    /// reserves DRAM for its whole context (`prompt + new_tokens`) at
+    /// admission and releases it on completion, so oversubscribed
+    /// traces queue instead of silently over-committing memory.
+    /// Requests whose context can never fit are rejected and counted
+    /// in [`ServeReport::kv_rejections`].
+    ContinuousBatch {
+        /// Most requests served concurrently by one batch step.
+        max_batch: usize,
+    },
 }
 
 /// Summary of one served request.
@@ -137,7 +178,9 @@ pub struct ServeReport {
     pub requests_served: usize,
     /// Tokens generated across all requests.
     pub tokens_served: u64,
-    /// Virtual time from first arrival to last completion.
+    /// Virtual time from the first *admitted* request's arrival to the
+    /// last completion. Rejected arrivals are not simulated and do not
+    /// stretch it (or the rates/utilizations derived from it).
     pub makespan: SimTime,
     /// Aggregate decode throughput over the makespan.
     pub tokens_per_sec: f64,
@@ -168,6 +211,19 @@ pub struct ServeReport {
     /// models — the distinct canonical shapes, including one per
     /// sequence position reached for the attention ops.
     pub op_cost_cache_misses: u64,
+    /// Time-weighted mean number of requests in the running batch over
+    /// the makespan. Zero for [`SchedulePolicy::Fcfs`] and
+    /// [`SchedulePolicy::RoundRobin`], which do not maintain a batch.
+    pub mean_batch_occupancy: f64,
+    /// Largest batch assembled at any token boundary (zero for the
+    /// non-batched policies).
+    pub peak_batch_occupancy: usize,
+    /// Requests rejected by KV-capacity admission control — each one a
+    /// counted [`npu_sim::KvCapacityError`]: the whole context
+    /// (`prompt + new_tokens`) can never fit in the DRAM KV
+    /// allocation, under any policy. Rejected requests are not
+    /// simulated and do not appear in `requests`.
+    pub kv_rejections: u64,
     /// Total traffic across all requests.
     pub traffic: TrafficBreakdown,
     /// Per-request summaries, in completion order.
@@ -182,7 +238,8 @@ impl ServeReport {
              token latency: p50 {:.0} ms, p99 {:.0} ms, mean {:.0} ms\n\
              queueing delay: mean {:.0} ms, max {:.0} ms\n\
              utilization: flash {:.0}%, npu {:.0}% | gemv cache: {} hits / {} misses\n\
-             op-cost cache: {} hits / {} misses",
+             op-cost cache: {} hits / {} misses\n\
+             batch occupancy: mean {:.2}, peak {} | kv rejections: {}",
             self.requests_served,
             self.tokens_served,
             self.makespan.as_secs_f64(),
@@ -198,6 +255,9 @@ impl ServeReport {
             self.gemv_cache_misses,
             self.op_cost_cache_hits,
             self.op_cost_cache_misses,
+            self.mean_batch_occupancy,
+            self.peak_batch_occupancy,
+            self.kv_rejections,
         )
     }
 }
@@ -205,9 +265,10 @@ impl ServeReport {
 /// The scheduler's ready queues: per resource, a priority heap of the
 /// requests whose next op is waiting for that resource.
 ///
-/// Every arrival is admitted immediately and enqueued here (no
-/// admission cap yet — continuous batching and KV-capacity admission
-/// control are the next layer, see `ROADMAP.md`). Entries carry the
+/// Used by the per-op interleaving policies (FCFS, round-robin): every
+/// arrival whose context fits in DRAM is admitted immediately and
+/// enqueued here. The batched policy keeps its own FIFO admission
+/// queue instead ([`BatchedSimulation`]). Entries carry the
 /// active policy's priority key, computed **at enqueue time** — exact
 /// because both policies' keys (FCFS arrival time, round-robin
 /// last-scheduled stamp) cannot change while a request waits — so a
@@ -276,8 +337,19 @@ impl ServeEngine {
     /// Runs `trace` to completion under `policy` and reports fleet
     /// statistics. Deterministic: the same trace and policy always
     /// produce an identical report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is [`SchedulePolicy::ContinuousBatch`] with
+    /// `max_batch == 0` (a batch must hold at least one request).
     pub fn run(&self, trace: &ArrivalTrace, policy: SchedulePolicy) -> ServeReport {
-        Simulation::new(self, trace, policy).run()
+        match policy {
+            SchedulePolicy::ContinuousBatch { max_batch } => {
+                assert!(max_batch >= 1, "a batch must hold at least one request");
+                BatchedSimulation::new(self, trace, max_batch).run()
+            }
+            _ => Simulation::new(self, trace, policy).run(),
+        }
     }
 }
 
@@ -301,6 +373,20 @@ struct PlanTable {
     n_dep: usize,
     /// Traffic of one token's seq-invariant ops.
     inv_traffic: TrafficBreakdown,
+    /// The shared-stream share of `inv_traffic`: NAND reads, in-flash
+    /// consumption and the D2D weight share, which a batched step pays
+    /// **once** for the whole batch.
+    inv_stream_traffic: TrafficBreakdown,
+    /// The per-request share of `inv_traffic` — each member's share of
+    /// the GeMV arithmetic on both sides, plus KV appends, norms and
+    /// activations: repeated per batch member.
+    inv_request_traffic: TrafficBreakdown,
+    /// Per-request NPU ops of each invariant slot's op (zero for
+    /// non-weight slots): the operand of the batched NPU compute floor.
+    inv_npu_ops: Vec<u64>,
+    /// Per-request in-flash ops of each invariant slot's op (zero for
+    /// non-weight slots): the operand of the batched flash-core floor.
+    inv_flash_ops: Vec<u64>,
     /// Weight GeMVs per token (for GeMV-cache recall accounting).
     gemvs_per_token: u64,
     /// Whether the invariant slots have been priced yet (done lazily so
@@ -313,9 +399,14 @@ impl PlanTable {
         let classes: Vec<OpClass> = (0..plan.len())
             .map(|idx| OpClass::of(&plan.op_at(idx, 0)))
             .collect();
-        let gemvs_per_token = classes.iter().filter(|c| **c == OpClass::Flash).count() as u64;
+        let gemvs_per_token = plan.weight_ops_per_token() as u64;
+        debug_assert_eq!(
+            gemvs_per_token,
+            classes.iter().filter(|c| **c == OpClass::Flash).count() as u64,
+            "plan's weight positions disagree with the op classification"
+        );
         let n_inv = plan.invariant_slots();
-        let n_dep = plan.cost_slots() - n_inv;
+        let n_dep = plan.dependent_slots();
         assert!(
             n_dep <= MAX_DEP_SLOTS,
             "plan has {n_dep} seq-dependent slots; raise MAX_DEP_SLOTS"
@@ -329,10 +420,57 @@ impl PlanTable {
             n_inv,
             n_dep,
             inv_traffic: TrafficBreakdown::default(),
+            inv_stream_traffic: TrafficBreakdown::default(),
+            inv_request_traffic: TrafficBreakdown::default(),
+            inv_npu_ops: vec![0; n_inv],
+            inv_flash_ops: vec![0; n_inv],
             gemvs_per_token,
             priced: false,
         }
     }
+}
+
+/// Prices the seq-invariant slots once, filling the latency table and
+/// both traffic views (serial total for the unbatched engines, the
+/// stream/per-request split for batched steps). Lazy so an empty trace
+/// prices nothing, like the engine it replaced.
+fn price_invariant(system: &mut System, plan: &TokenPlan, table: &mut PlanTable) {
+    if table.priced {
+        return;
+    }
+    for s in 0..table.n_inv {
+        let cost = system.op_cost(&plan.slot_op(s, 0));
+        table.inv_lat[s] = cost.latency;
+        let count = plan.slot_count(s) as u64;
+        table.inv_traffic.absorb_scaled(&cost.traffic, count);
+        if plan.slot_is_weight(s) {
+            // A weight slot's *weight bytes* (NAND stream, in-flash and
+            // D2D consumption) are shared by a batch; everything else —
+            // each member multiplying the streamed weights by its own
+            // activations on both the flash cores and the NPU, and any
+            // DRAM traffic a weight op might ever book — repeats per
+            // member, same as the non-weight slots.
+            table.inv_npu_ops[s] = cost.traffic.npu_ops;
+            table.inv_flash_ops[s] = cost.traffic.flash_ops;
+            let stream = TrafficBreakdown {
+                nand_array_bytes: cost.traffic.nand_array_bytes,
+                in_flash_bytes: cost.traffic.in_flash_bytes,
+                d2d_bytes: cost.traffic.d2d_bytes,
+                ..TrafficBreakdown::default()
+            };
+            let mut per_member = cost.traffic;
+            per_member.nand_array_bytes = 0;
+            per_member.in_flash_bytes = 0;
+            per_member.d2d_bytes = 0;
+            table.inv_stream_traffic.absorb_scaled(&stream, count);
+            table.inv_request_traffic.absorb_scaled(&per_member, count);
+        } else {
+            table
+                .inv_request_traffic
+                .absorb_scaled(&cost.traffic, count);
+        }
+    }
+    table.priced = true;
 }
 
 /// Per-request execution state.
@@ -409,6 +547,20 @@ impl EventCore {
         self.op_done[class_slot].is_some()
     }
 
+    /// Pops an arrival scheduled for exactly `now`, if any — used by
+    /// the batched scheduler to fold simultaneous arrivals (bursts,
+    /// closed-loop respawns) into the token boundary being processed
+    /// instead of making them wait out a full batch step. The clock is
+    /// unchanged: only events at the current instant qualify.
+    fn pop_due_arrival(&mut self, now: SimTime) -> Option<usize> {
+        let &Reverse((at, _, req)) = self.arrivals.peek()?;
+        if at != now.as_picos() {
+            return None;
+        }
+        self.arrivals.pop();
+        Some(req as usize)
+    }
+
     /// Fires the earliest pending event, advancing the clock.
     #[inline]
     fn pop(&mut self) -> Option<Fired> {
@@ -455,7 +607,13 @@ struct Simulation<'a> {
     token_latencies: Samples,
     queueing: Aggregate,
     done: Vec<RequestReport>,
-    first_arrival: SimTime,
+    /// Arrival time of the first *admitted* request — rejected
+    /// arrivals are not simulated and must not stretch the makespan.
+    first_arrival: Option<SimTime>,
+    /// [`kv_cache`]`().max_tokens()`: arrivals whose context exceeds
+    /// it are rejected, not simulated.
+    kv_max_context: usize,
+    kv_rejections: u64,
 }
 
 fn slot(class: OpClass) -> usize {
@@ -492,6 +650,78 @@ fn push_request(
     id
 }
 
+/// Seeds the request table and arrival events from a trace. Returns
+/// `(client_remaining, closed_shape)`. Shared by both simulation
+/// loops, so arrival order — and therefore event stamps — is
+/// identical regardless of policy.
+fn load_trace(
+    trace: &ArrivalTrace,
+    requests: &mut Vec<RequestState>,
+    ev: &mut EventCore,
+) -> (Vec<usize>, Option<RequestShape>) {
+    match trace {
+        ArrivalTrace::Open(arrivals) => {
+            for a in arrivals {
+                let id = push_request(requests, a.shape, a.at, None);
+                ev.schedule_arrival(a.at, id);
+            }
+            (Vec::new(), None)
+        }
+        ArrivalTrace::ClosedLoop {
+            clients,
+            requests_per_client,
+            shape,
+        } => {
+            // The variant's fields are public, so a hand-built trace
+            // can bypass `ArrivalTrace::closed_loop`'s asserts.
+            assert!(
+                *clients >= 1 && *requests_per_client >= 1,
+                "closed loop needs at least one client and one request per client"
+            );
+            let remaining = vec![requests_per_client - 1; *clients];
+            for client in 0..*clients {
+                let id = push_request(requests, *shape, SimTime::ZERO, Some(client));
+                ev.schedule_arrival(SimTime::ZERO, id);
+            }
+            (remaining, Some(*shape))
+        }
+    }
+}
+
+/// Closed-loop respawn: the client behind a departing request
+/// (completed or rejected) issues its next request at the same
+/// instant. The single implementation shared by both event loops —
+/// a free function so callers can hold disjoint borrows of their
+/// simulation's fields.
+fn respawn_client(
+    requests: &mut Vec<RequestState>,
+    ev: &mut EventCore,
+    client_remaining: &mut [usize],
+    closed_shape: Option<RequestShape>,
+    client: Option<usize>,
+    now: SimTime,
+) {
+    if let Some(client) = client {
+        if client_remaining[client] > 0 {
+            client_remaining[client] -= 1;
+            let shape = closed_shape.expect("closed loop has a shape");
+            let next = push_request(requests, shape, now, Some(client));
+            ev.schedule_arrival(now, next);
+        }
+    }
+}
+
+/// The DRAM KV cache for this engine's model and quantization — the
+/// single source of capacity truth: its `max_tokens()` is the
+/// never-fits rejection criterion every policy shares, and the batched
+/// loop additionally reserves and releases context through it.
+fn kv_cache(engine: &ServeEngine) -> KvCache {
+    KvCache::new(
+        kv_bytes_per_token(&engine.model, engine.cfg.quant),
+        &engine.cfg.npu,
+    )
+}
+
 /// Starts a token for request `r`: prices this token's seq-dependent
 /// slots (through the memoizing [`System::op_cost`]) and books the
 /// whole token's traffic up front — totals at completion are identical
@@ -506,16 +736,7 @@ fn begin_token(
     traffic: &mut TrafficBreakdown,
     r: &mut RequestState,
 ) {
-    if !table.priced {
-        for s in 0..table.n_inv {
-            let cost = system.op_cost(&plan.slot_op(s, 0));
-            table.inv_lat[s] = cost.latency;
-            table
-                .inv_traffic
-                .absorb_scaled(&cost.traffic, plan.slot_count(s) as u64);
-        }
-        table.priced = true;
-    }
+    price_invariant(system, plan, table);
     traffic.absorb(&table.inv_traffic);
     let seq = r.cursor.seq_len();
     for d in 0..table.n_dep {
@@ -544,45 +765,14 @@ impl<'a> Simulation<'a> {
             token_latencies: Samples::new(),
             queueing: Aggregate::new(),
             done: Vec::new(),
-            first_arrival: SimTime::ZERO,
+            first_arrival: None,
+            kv_max_context: kv_cache(engine).max_tokens(),
+            kv_rejections: 0,
         };
-        match trace {
-            ArrivalTrace::Open(arrivals) => {
-                sim.first_arrival = arrivals.iter().map(|a| a.at).min().unwrap_or(SimTime::ZERO);
-                for a in arrivals {
-                    let id = sim.new_request(a.shape, a.at, None);
-                    sim.ev.schedule_arrival(a.at, id);
-                }
-            }
-            ArrivalTrace::ClosedLoop {
-                clients,
-                requests_per_client,
-                shape,
-            } => {
-                // The variant's fields are public, so a hand-built trace
-                // can bypass `ArrivalTrace::closed_loop`'s asserts.
-                assert!(
-                    *clients >= 1 && *requests_per_client >= 1,
-                    "closed loop needs at least one client and one request per client"
-                );
-                sim.closed_shape = Some(*shape);
-                sim.client_remaining = vec![requests_per_client - 1; *clients];
-                for client in 0..*clients {
-                    let id = sim.new_request(*shape, SimTime::ZERO, Some(client));
-                    sim.ev.schedule_arrival(SimTime::ZERO, id);
-                }
-            }
-        }
+        let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
+        sim.client_remaining = remaining;
+        sim.closed_shape = shape;
         sim
-    }
-
-    fn new_request(
-        &mut self,
-        shape: RequestShape,
-        arrived: SimTime,
-        client: Option<usize>,
-    ) -> usize {
-        push_request(&mut self.requests, shape, arrived, client)
     }
 
     /// The event loop. One deliberately monolithic block: this is the
@@ -608,6 +798,9 @@ impl<'a> Simulation<'a> {
                 token_latencies,
                 queueing,
                 done,
+                first_arrival,
+                kv_max_context,
+                kv_rejections,
                 ..
             } = &mut self;
             let plan: &TokenPlan = plan;
@@ -618,16 +811,45 @@ impl<'a> Simulation<'a> {
                 SchedulePolicy::Fcfs => r.arrived.as_picos(),
                 // Least-recently-scheduled wins: fair rotation.
                 SchedulePolicy::RoundRobin => r.last_scheduled,
+                // Routed to `BatchedSimulation` by `ServeEngine::run`.
+                SchedulePolicy::ContinuousBatch { .. } => {
+                    unreachable!("batched policy has its own loop")
+                }
             };
 
             while let Some(fired) = ev.pop() {
                 let now = ev.now;
                 match fired {
                     Fired::Arrive(id) => {
-                        // Admitted immediately; admission control is a
-                        // future layer. The request prices its first
-                        // token and enters the ready queue of its first
-                        // op's resource.
+                        // KV admission control: a context (prompt +
+                        // generation) that can never fit in the DRAM KV
+                        // allocation is a counted rejection
+                        // (`KvCapacityError` at prefill/append on real
+                        // hardware), not a simulated run — the same
+                        // never-fits criterion `ContinuousBatch` uses.
+                        // Anything that fits alone is admitted
+                        // immediately; these policies interleave per-op
+                        // and do not reserve shared capacity ahead,
+                        // `ContinuousBatch` does.
+                        let shape = requests[id].shape;
+                        if shape.prompt_len + shape.new_tokens > *kv_max_context {
+                            *kv_rejections += 1;
+                            let client = requests[id].client;
+                            respawn_client(
+                                requests,
+                                ev,
+                                client_remaining,
+                                *closed_shape,
+                                client,
+                                now,
+                            );
+                            continue;
+                        }
+                        // The request prices its first token and enters
+                        // the ready queue of its first op's resource.
+                        if first_arrival.is_none() {
+                            *first_arrival = Some(requests[id].arrived);
+                        }
                         let r = &mut requests[id];
                         r.token_started = now;
                         begin_token(system, plan, table, traffic, r);
@@ -679,14 +901,15 @@ impl<'a> Simulation<'a> {
 
                                 // Closed loop: the client immediately
                                 // issues its next request.
-                                if let Some(client) = r.client {
-                                    if client_remaining[client] > 0 {
-                                        client_remaining[client] -= 1;
-                                        let shape = closed_shape.expect("closed loop has a shape");
-                                        let next = push_request(requests, shape, now, Some(client));
-                                        ev.schedule_arrival(now, next);
-                                    }
-                                }
+                                let client = r.client;
+                                respawn_client(
+                                    requests,
+                                    ev,
+                                    client_remaining,
+                                    *closed_shape,
+                                    client,
+                                    now,
+                                );
                             }
                         }
                     }
@@ -730,15 +953,12 @@ impl<'a> Simulation<'a> {
         self.finish()
     }
 
-    fn finish(mut self) -> ServeReport {
+    fn finish(self) -> ServeReport {
         assert!(
             self.ready.is_empty(),
             "event core drained with work outstanding"
         );
-        let end = self.ev.now;
-        let makespan = end.saturating_sub(self.first_arrival);
         let tokens_served: u64 = self.done.iter().map(|r| r.tokens as u64).sum();
-        let horizon = makespan.as_secs_f64();
 
         // Op-pricing accounting, in dispatched-op terms: each distinct
         // canonical shape was derived once (a cache miss — the slot
@@ -748,37 +968,501 @@ impl<'a> Simulation<'a> {
         // at token start) is not counted, so hits + misses partition
         // the dispatched ops exactly.
         let ops_dispatched = tokens_served * self.plan.len() as u64;
-        let op_misses = self.system.op_cost_cache().misses();
 
         // GeMV recall accounting: every weight-GeMV dispatch beyond the
         // first per distinct shape reused a memoized flash simulation
         // (whether through the GeMV cache itself or the tables above).
         let gemv_dispatched = tokens_served * self.table.gemvs_per_token;
-        let gemv_misses = self.system.gemv_cache().misses();
 
-        ServeReport {
+        build_report(ReportInputs {
             policy: self.policy,
-            requests_served: self.done.len(),
-            tokens_served,
-            makespan,
-            tokens_per_sec: if horizon > 0.0 {
-                tokens_served as f64 / horizon
-            } else {
-                0.0
-            },
-            p50_token_latency_s: self.token_latencies.percentile(50.0).unwrap_or(0.0),
-            p99_token_latency_s: self.token_latencies.percentile(99.0).unwrap_or(0.0),
-            mean_token_latency_s: self.token_latencies.mean().unwrap_or(0.0),
-            queueing_delay_s: self.queueing,
-            flash_utilization: self.busy_track[0].utilization(makespan),
-            npu_utilization: self.busy_track[1].utilization(makespan),
-            gemv_cache_hits: gemv_dispatched.saturating_sub(gemv_misses),
-            gemv_cache_misses: gemv_misses,
-            op_cost_cache_hits: ops_dispatched.saturating_sub(op_misses),
-            op_cost_cache_misses: op_misses,
+            first_arrival: self.first_arrival,
+            token_latencies: self.token_latencies,
+            queueing: self.queueing,
+            busy_track: self.busy_track,
+            system: &self.system,
+            ops_dispatched,
+            gemv_dispatched,
+            occ_weighted_ps: 0,
+            peak_batch_occupancy: 0,
+            kv_rejections: self.kv_rejections,
             traffic: self.traffic,
-            requests: self.done,
+            done: self.done,
+        })
+    }
+}
+
+/// Everything a finished event loop hands to [`build_report`]: the
+/// shared accumulators plus the few per-policy numbers (dispatch
+/// accounting, batch occupancy, rejections).
+struct ReportInputs<'a> {
+    policy: SchedulePolicy,
+    /// Arrival time of the first admitted request, if any.
+    first_arrival: Option<SimTime>,
+    token_latencies: Samples,
+    queueing: Aggregate,
+    busy_track: [BusyTracker; 2],
+    system: &'a System,
+    ops_dispatched: u64,
+    gemv_dispatched: u64,
+    /// Batch-size × picoseconds integral (zero for per-op policies).
+    occ_weighted_ps: u128,
+    peak_batch_occupancy: usize,
+    kv_rejections: u64,
+    traffic: TrafficBreakdown,
+    done: Vec<RequestReport>,
+}
+
+/// Assembles the fleet report both event loops share: rate,
+/// percentile, utilization and cache-recall arithmetic is identical
+/// across policies (zero-duration runs divide out to 0.0 everywhere),
+/// so a new report field or formula change lands in exactly one place.
+fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
+    let ReportInputs {
+        policy,
+        first_arrival,
+        mut token_latencies,
+        queueing,
+        busy_track,
+        system,
+        ops_dispatched,
+        gemv_dispatched,
+        occ_weighted_ps,
+        peak_batch_occupancy,
+        kv_rejections,
+        traffic,
+        done,
+    } = inputs;
+    // Span of actual service: first admitted arrival to last
+    // completion. Rejected arrivals advance the event clock but are
+    // not simulated, so they must not stretch the makespan or dilute
+    // the rates, utilizations and occupancy derived from it.
+    let makespan = match (first_arrival, done.last()) {
+        (Some(first), Some(last)) => last.finished.saturating_sub(first),
+        _ => SimTime::ZERO,
+    };
+    let mean_batch_occupancy = if makespan > SimTime::ZERO {
+        occ_weighted_ps as f64 / makespan.as_picos() as f64
+    } else {
+        0.0
+    };
+    let tokens_served: u64 = done.iter().map(|r| r.tokens as u64).sum();
+    let horizon = makespan.as_secs_f64();
+    let op_misses = system.op_cost_cache().misses();
+    let gemv_misses = system.gemv_cache().misses();
+    ServeReport {
+        policy,
+        requests_served: done.len(),
+        tokens_served,
+        makespan,
+        tokens_per_sec: if horizon > 0.0 {
+            tokens_served as f64 / horizon
+        } else {
+            0.0
+        },
+        p50_token_latency_s: token_latencies.percentile(50.0).unwrap_or(0.0),
+        p99_token_latency_s: token_latencies.percentile(99.0).unwrap_or(0.0),
+        mean_token_latency_s: token_latencies.mean().unwrap_or(0.0),
+        queueing_delay_s: queueing,
+        flash_utilization: busy_track[0].utilization(makespan),
+        npu_utilization: busy_track[1].utilization(makespan),
+        gemv_cache_hits: gemv_dispatched.saturating_sub(gemv_misses),
+        gemv_cache_misses: gemv_misses,
+        op_cost_cache_hits: ops_dispatched.saturating_sub(op_misses),
+        op_cost_cache_misses: op_misses,
+        mean_batch_occupancy,
+        peak_batch_occupancy,
+        kv_rejections,
+        traffic,
+        requests: done,
+    }
+}
+
+/// Event-core request id for batched op completions: the whole batch
+/// retires one plan position together, so no single request owns the
+/// event.
+const BATCH_EVENT: usize = u32::MAX as usize;
+
+/// The running batch of a [`SchedulePolicy::ContinuousBatch`]
+/// simulation: the requests marching through the plan in lockstep plus
+/// the shared walk state. "Many cursors parked at the same plan
+/// position" — the batch holds one position, each member holds its own
+/// sequence length.
+#[derive(Debug)]
+struct BatchState {
+    /// Requests in the batch, admission order.
+    active: Vec<usize>,
+    /// Plan position of the in-flight batched op.
+    pos: usize,
+    /// Admission cap.
+    max_batch: usize,
+    /// Occupancy integral (batch size × picoseconds) for the
+    /// time-weighted mean in the report.
+    occ_weighted_ps: u128,
+    /// When the integral was last advanced.
+    occ_last: SimTime,
+    /// Largest batch assembled at any boundary.
+    peak: usize,
+}
+
+impl BatchState {
+    fn new(max_batch: usize) -> Self {
+        BatchState {
+            active: Vec::with_capacity(max_batch),
+            pos: 0,
+            max_batch,
+            occ_weighted_ps: 0,
+            occ_last: SimTime::ZERO,
+            peak: 0,
         }
+    }
+
+    /// Advances the occupancy integral to `now` at the current batch
+    /// size. Call before any admission or retirement at `now`.
+    fn note_occupancy(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.occ_last).as_picos();
+        self.occ_weighted_ps += self.active.len() as u128 * dt as u128;
+        self.occ_last = now;
+    }
+}
+
+/// The continuous-batching event loop.
+///
+/// Compared with [`Simulation`], which interleaves *individual* ops of
+/// independent requests across the two resources, this loop executes
+/// **batch steps**: one walk of the shared [`TokenPlan`] serving every
+/// in-flight request at once. Per plan position:
+///
+/// * a weight GeMV occupies the flash device **once** for the whole
+///   batch — the weight stream is fetched a single time and every
+///   request consumes it (the amortization that makes cloud serving
+///   batch-efficient, now at the edge), floored by the NPU roofline on
+///   `batch ×` the per-request MAC share so huge batches hit the
+///   compute ceiling instead of scaling forever, and with each
+///   member's share of the GeMV arithmetic booked in the traffic
+///   ledger;
+/// * NPU-side work (attention, softmax, norms, KV appends) runs per
+///   request — invariant slots at the shared table price, the three
+///   attention slots at each request's own sequence position.
+///
+/// Requests join at token boundaries, FIFO, gated on KV capacity: a
+/// request reserves `prompt + new_tokens` KV entries at admission
+/// ([`KvCache::prefill`]) and releases them on completion
+/// ([`KvCache::release`]). A context that can never fit is rejected and
+/// counted. Head-of-line order is preserved — a blocked head is not
+/// jumped by smaller later requests, so admission is starvation-free.
+///
+/// With one in-flight request a batch step prices exactly the serial
+/// op walk, so batch-of-1 reproduces the FCFS single-stream makespan
+/// tick for tick.
+struct BatchedSimulation<'a> {
+    system: System,
+    plan: &'a TokenPlan,
+    table: PlanTable,
+    ev: EventCore,
+    batch: BatchState,
+    /// Arrived requests awaiting admission, FIFO.
+    pending: VecDeque<usize>,
+    /// Shared DRAM KV allocation; holds one whole-context reservation
+    /// per in-flight request.
+    kv: KvCache,
+    requests: Vec<RequestState>,
+    busy_track: [BusyTracker; 2],
+    client_remaining: Vec<usize>,
+    closed_shape: Option<RequestShape>,
+    traffic: TrafficBreakdown,
+    token_latencies: Samples,
+    queueing: Aggregate,
+    done: Vec<RequestReport>,
+    /// Arrival time of the first *admitted* request — rejected
+    /// arrivals are not simulated and must not stretch the makespan.
+    first_arrival: Option<SimTime>,
+    /// `self.kv.max_tokens()`, cached: the same never-fits rejection
+    /// criterion the per-op loop applies.
+    kv_max_context: usize,
+    kv_rejections: u64,
+    /// Op dispatches in batched terms: one per shared weight fetch,
+    /// one per request for NPU positions.
+    ops_dispatched: u64,
+    gemv_dispatched: u64,
+}
+
+impl<'a> BatchedSimulation<'a> {
+    fn new(engine: &'a ServeEngine, trace: &ArrivalTrace, max_batch: usize) -> Self {
+        // The one authoritative cache: the admission gate (`kv.fits`)
+        // and the never-fits rejection criterion are both derived from
+        // it, so they cannot disagree.
+        let kv = kv_cache(engine);
+        let mut sim = BatchedSimulation {
+            system: System::new(engine.cfg),
+            plan: &engine.plan,
+            table: PlanTable::new(&engine.plan),
+            ev: EventCore::default(),
+            batch: BatchState::new(max_batch),
+            pending: VecDeque::new(),
+            kv_max_context: kv.max_tokens(),
+            kv,
+            requests: Vec::new(),
+            busy_track: [BusyTracker::new(), BusyTracker::new()],
+            client_remaining: Vec::new(),
+            closed_shape: None,
+            traffic: TrafficBreakdown::default(),
+            token_latencies: Samples::new(),
+            queueing: Aggregate::new(),
+            done: Vec::new(),
+            first_arrival: None,
+            kv_rejections: 0,
+            ops_dispatched: 0,
+            gemv_dispatched: 0,
+        };
+        let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
+        sim.client_remaining = remaining;
+        sim.closed_shape = shape;
+        sim
+    }
+
+    /// Whether a batched op is in flight (the step is mid-walk).
+    fn stepping(&self) -> bool {
+        self.ev.busy(0) || self.ev.busy(1)
+    }
+
+    fn run(mut self) -> ServeReport {
+        while let Some(fired) = self.ev.pop() {
+            let now = self.ev.now;
+            self.batch.note_occupancy(now);
+            match fired {
+                Fired::Arrive(id) => {
+                    self.pending.push_back(id);
+                    if !self.stepping() {
+                        // Device idle: this instant is a (trivial)
+                        // token boundary. Fold in simultaneous
+                        // arrivals so a burst forms one batch.
+                        while let Some(more) = self.ev.pop_due_arrival(now) {
+                            self.pending.push_back(more);
+                        }
+                        self.admit(now);
+                        self.start_step(now);
+                    }
+                }
+                Fired::Op(..) => {
+                    self.batch.pos += 1;
+                    if self.batch.pos < self.table.classes.len() {
+                        self.dispatch(now);
+                    } else {
+                        self.token_boundary(now);
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// One token retired for every batch member: samples latencies,
+    /// completes finished requests (releasing their KV reservation),
+    /// folds due arrivals in, admits, and starts the next step.
+    fn token_boundary(&mut self, now: SimTime) {
+        let active = std::mem::take(&mut self.batch.active);
+        let mut survivors = Vec::with_capacity(active.len());
+        for id in active {
+            let r = &mut self.requests[id];
+            r.tokens_done += 1;
+            self.token_latencies
+                .push(now.saturating_sub(r.token_started).as_secs_f64());
+            r.token_started = now;
+            if r.first_token.is_none() {
+                r.first_token = Some(now);
+            }
+            if r.tokens_done < r.shape.new_tokens {
+                r.cursor.next_token();
+                survivors.push(id);
+            } else {
+                let report = RequestReport {
+                    id,
+                    arrived: r.arrived,
+                    started: r.started.expect("completed request never started"),
+                    first_token: r.first_token.expect("completed request has tokens"),
+                    finished: now,
+                    tokens: r.tokens_done,
+                };
+                let context = r.shape.prompt_len + r.shape.new_tokens;
+                let client = r.client;
+                self.queueing.push(report.queueing_delay().as_secs_f64());
+                self.done.push(report);
+                self.kv.release(context);
+                respawn_client(
+                    &mut self.requests,
+                    &mut self.ev,
+                    &mut self.client_remaining,
+                    self.closed_shape,
+                    client,
+                    now,
+                );
+            }
+        }
+        self.batch.active = survivors;
+        // Closed-loop respawns and open-trace arrivals landing exactly
+        // on this boundary join it instead of waiting out a full step.
+        while let Some(id) = self.ev.pop_due_arrival(now) {
+            self.pending.push_back(id);
+        }
+        self.admit(now);
+        self.start_step(now);
+    }
+
+    /// FIFO admission at a token boundary: reserve KV for the whole
+    /// context or wait. A context that can never fit (it exceeds the
+    /// empty-cache capacity) is rejected and counted.
+    fn admit(&mut self, now: SimTime) {
+        while self.batch.active.len() < self.batch.max_batch {
+            let Some(&id) = self.pending.front() else {
+                break;
+            };
+            let shape = self.requests[id].shape;
+            let context = shape.prompt_len + shape.new_tokens;
+            if context > self.kv_max_context {
+                self.pending.pop_front();
+                self.kv_rejections += 1;
+                let client = self.requests[id].client;
+                respawn_client(
+                    &mut self.requests,
+                    &mut self.ev,
+                    &mut self.client_remaining,
+                    self.closed_shape,
+                    client,
+                    now,
+                );
+                continue;
+            }
+            // Capacity gate: the head waits for in-flight requests to
+            // release their reservations; later arrivals do not jump
+            // the queue (starvation-free FIFO).
+            if !self.kv.fits(context) {
+                break;
+            }
+            self.kv
+                .prefill(context)
+                .expect("fits() is prefill's admissibility criterion");
+            self.pending.pop_front();
+            if self.first_arrival.is_none() {
+                self.first_arrival = Some(self.requests[id].arrived);
+            }
+            self.batch.active.push(id);
+            self.batch.peak = self.batch.peak.max(self.batch.active.len());
+            let r = &mut self.requests[id];
+            // The step including this request starts at `now`. Its
+            // first-token clock keeps running from *arrival* (set by
+            // `push_request`), exactly like the per-op policies, so
+            // token-latency percentiles are comparable across policies:
+            // time spent pending for a batch slot or KV capacity is in
+            // the first token's latency, not hidden.
+            if r.started.is_none() {
+                r.started = Some(now);
+            }
+        }
+    }
+
+    /// Prices and launches one batch step: the invariant table is
+    /// shared, each member's attention slots are re-priced at its own
+    /// sequence position, and the step's traffic books the weight
+    /// stream once plus per-request work × batch.
+    fn start_step(&mut self, now: SimTime) {
+        if self.batch.active.is_empty() {
+            return;
+        }
+        debug_assert!(!self.stepping(), "batch step already in flight");
+        price_invariant(&mut self.system, self.plan, &mut self.table);
+        self.traffic.absorb_batch_step(
+            &self.table.inv_stream_traffic,
+            &self.table.inv_request_traffic,
+            self.batch.active.len() as u64,
+        );
+        for i in 0..self.batch.active.len() {
+            let id = self.batch.active[i];
+            let seq = self.requests[id].cursor.seq_len();
+            for d in 0..self.table.n_dep {
+                let op_slot = self.table.n_inv + d;
+                let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
+                self.requests[id].dep_lat[d] = cost.latency;
+                self.traffic
+                    .absorb_scaled(&cost.traffic, self.plan.slot_count(op_slot) as u64);
+            }
+        }
+        self.batch.pos = 0;
+        self.dispatch(now);
+    }
+
+    /// Launches the batched op at the current plan position: one shared
+    /// fetch for a weight GeMV, the batch's summed latency for NPU
+    /// work.
+    fn dispatch(&mut self, now: SimTime) {
+        let idx = self.batch.pos;
+        let s = slot(self.table.classes[idx]);
+        let cost_slot = self.table.slots[idx] as usize;
+        let batch = self.batch.active.len() as u64;
+        let latency = if s == slot(OpClass::Flash) {
+            // One weight stream serves every cursor parked here — but
+            // every member still multiplies the streamed weights by its
+            // own activations, so the shared window is floored by both
+            // compute rooflines on `batch ×` the per-request MAC shares
+            // — the in-flash cores (sized to just match the read rate
+            // at batch 1, so they throttle first) and the NPU. This is
+            // the compute ceiling that ends batching's free lunch; at
+            // batch 1 both floors are already inside the table price.
+            debug_assert!(cost_slot < self.table.n_inv, "weight slots are invariant");
+            self.gemv_dispatched += 1;
+            self.ops_dispatched += 1;
+            let npu_floor = self
+                .system
+                .npu_compute_time(self.table.inv_npu_ops[cost_slot] * batch);
+            let flash_floor = self
+                .system
+                .flash_compute_time(self.table.inv_flash_ops[cost_slot] * batch);
+            self.table.inv_lat[cost_slot]
+                .max(npu_floor)
+                .max(flash_floor)
+        } else if cost_slot < self.table.n_inv {
+            // Per-request NPU work at the shared table price.
+            self.ops_dispatched += batch;
+            self.table.inv_lat[cost_slot] * batch
+        } else {
+            // Attention: summed over each member's sequence position.
+            self.ops_dispatched += batch;
+            let d = cost_slot - self.table.n_inv;
+            self.batch
+                .active
+                .iter()
+                .map(|&id| self.requests[id].dep_lat[d])
+                .sum()
+        };
+        self.busy_track[s].add_interval(now, now + latency);
+        self.ev.schedule_op(s, now + latency, BATCH_EVENT);
+    }
+
+    fn finish(mut self) -> ServeReport {
+        assert!(
+            self.pending.is_empty() && self.batch.active.is_empty(),
+            "event core drained with work outstanding"
+        );
+        debug_assert_eq!(self.kv.tokens(), 0, "kv reservations leaked");
+        self.batch.note_occupancy(self.ev.now);
+
+        build_report(ReportInputs {
+            policy: SchedulePolicy::ContinuousBatch {
+                max_batch: self.batch.max_batch,
+            },
+            first_arrival: self.first_arrival,
+            token_latencies: self.token_latencies,
+            queueing: self.queueing,
+            busy_track: self.busy_track,
+            system: &self.system,
+            ops_dispatched: self.ops_dispatched,
+            gemv_dispatched: self.gemv_dispatched,
+            occ_weighted_ps: self.batch.occ_weighted_ps,
+            peak_batch_occupancy: self.batch.peak,
+            kv_rejections: self.kv_rejections,
+            traffic: self.traffic,
+            done: self.done,
+        })
     }
 }
 
@@ -932,5 +1616,310 @@ mod tests {
         assert_eq!(rep.requests_served, 5);
         assert_eq!(rep.tokens_served, 10);
         assert!(rep.flash_utilization > 0.5);
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_stream_exactly() {
+        // A batch step over one request prices the same serial op walk
+        // as the unbatched engine, so batch-of-1 reproduces the FCFS
+        // single stream tick for tick.
+        let shape = RequestShape::new(500, 3);
+        let trace = ArrivalTrace::closed_loop(1, 2, shape);
+        let fcfs = engine().run(&trace, SchedulePolicy::Fcfs);
+        let batched = engine().run(&trace, SchedulePolicy::ContinuousBatch { max_batch: 1 });
+        assert_eq!(batched.makespan, fcfs.makespan);
+        assert_eq!(batched.tokens_served, fcfs.tokens_served);
+        assert_eq!(batched.traffic, fcfs.traffic);
+        assert_eq!(batched.requests.len(), fcfs.requests.len());
+        for (b, f) in batched.requests.iter().zip(&fcfs.requests) {
+            assert_eq!(b.finished, f.finished);
+            assert_eq!(b.first_token, f.first_token);
+        }
+        assert_eq!(batched.peak_batch_occupancy, 1);
+        assert!((batched.mean_batch_occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_batching_amortizes_the_weight_stream() {
+        // Four concurrent requests: FCFS streams all weights once per
+        // token *per request*; the batch streams them once per step for
+        // everyone. NAND traffic drops ~4x and throughput rises.
+        let shape = RequestShape::new(300, 3);
+        let trace = ArrivalTrace::closed_loop(4, 1, shape);
+        let fcfs = engine().run(&trace, SchedulePolicy::Fcfs);
+        let batched = engine().run(&trace, SchedulePolicy::ContinuousBatch { max_batch: 4 });
+        assert_eq!(batched.tokens_served, fcfs.tokens_served);
+        assert!(
+            batched.tokens_per_sec > fcfs.tokens_per_sec,
+            "batched {} <= fcfs {}",
+            batched.tokens_per_sec,
+            fcfs.tokens_per_sec
+        );
+        assert_eq!(
+            batched.traffic.nand_array_bytes * 4,
+            fcfs.traffic.nand_array_bytes
+        );
+        // Per-request work is identical either way: every member still
+        // runs its own KV traffic and its own share of the GeMV
+        // arithmetic on the streamed weights — only the *stream* is
+        // shared.
+        assert_eq!(batched.traffic.dram_bytes, fcfs.traffic.dram_bytes);
+        assert_eq!(batched.traffic.npu_ops, fcfs.traffic.npu_ops);
+        assert_eq!(batched.traffic.flash_ops, fcfs.traffic.flash_ops);
+        assert_eq!(batched.peak_batch_occupancy, 4);
+        assert!(batched.mean_batch_occupancy > 3.9);
+        assert_eq!(batched.kv_rejections, 0);
+    }
+
+    #[test]
+    fn huge_batches_hit_the_compute_ceiling() {
+        // The shared weight stream is floored by both compute
+        // rooflines on batch × the per-request MAC shares. The
+        // in-flash cores are sized to just match the NAND read rate at
+        // batch 1, so they throttle the stream within a few batch
+        // members and throughput stops scaling — the §III-A intensity
+        // cliff from the other side. (Short prompts keep KV
+        // reservations small enough for one batch.)
+        let shape = RequestShape::new(4, 1);
+        let one = engine().run(
+            &ArrivalTrace::burst(1, shape),
+            SchedulePolicy::ContinuousBatch { max_batch: 1 },
+        );
+        let many = engine().run(
+            &ArrivalTrace::burst(1024, shape),
+            SchedulePolicy::ContinuousBatch { max_batch: 1024 },
+        );
+        let speedup = many.tokens_per_sec / one.tokens_per_sec;
+        assert!(
+            speedup < 20.0,
+            "batch 1024 scaled past the compute ceiling ({speedup:.0}x)"
+        );
+        assert!(
+            speedup > 1.5,
+            "batching stopped paying at all ({speedup:.1}x)"
+        );
+    }
+
+    #[test]
+    fn max_batch_caps_the_running_batch() {
+        let shape = RequestShape::new(300, 2);
+        let rep = engine().run(
+            &ArrivalTrace::burst(5, shape),
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        );
+        assert_eq!(rep.requests_served, 5);
+        assert_eq!(rep.peak_batch_occupancy, 2);
+        assert!(rep.mean_batch_occupancy <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn impossible_prompt_is_rejected_not_simulated() {
+        // OPT-6.7B W8A8: 256 KiB of KV per token, 2 GB of DRAM — a
+        // ~7.6k-token context is the ceiling. A 10k-token prompt can
+        // never fit and must be a counted rejection under every policy.
+        let shape = RequestShape::new(10_000, 2);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::ContinuousBatch { max_batch: 4 },
+        ] {
+            let rep = engine().run(&ArrivalTrace::burst(2, shape), policy);
+            assert_eq!(rep.requests_served, 0, "{policy:?}");
+            assert_eq!(rep.kv_rejections, 2, "{policy:?}");
+            assert_eq!(rep.tokens_served, 0);
+            assert!(rep.requests.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejection_criterion_is_the_full_context_under_every_policy() {
+        // The prompt fits (7000 < ~7.6k-token ceiling) but prompt +
+        // generation never can: simulating it would price attention at
+        // sequence positions DRAM cannot hold, so every policy rejects
+        // it — the per-op policies agree with the batched reservation.
+        let shape = RequestShape::new(7000, 1000);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        ] {
+            let rep = engine().run(&ArrivalTrace::burst(1, shape), policy);
+            assert_eq!(rep.requests_served, 0, "{policy:?}");
+            assert_eq!(rep.kv_rejections, 1, "{policy:?}");
+        }
+        // Just inside the ceiling is served by all of them.
+        let fits = RequestShape::new(7000, 100);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        ] {
+            let rep = engine().run(&ArrivalTrace::burst(1, fits), policy);
+            assert_eq!(rep.requests_served, 1, "{policy:?}");
+            assert_eq!(rep.kv_rejections, 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn rejected_stragglers_do_not_stretch_the_makespan() {
+        // A servable request at t=0 plus an impossible one arriving
+        // long after it completes: the rejection event advances the
+        // virtual clock, but the report spans actual service only —
+        // throughput and utilization must not be diluted by a request
+        // that was never simulated.
+        let ok = RequestShape::new(300, 2);
+        let huge = RequestShape::new(10_000, 2);
+        let late = SimTime::from_secs_f64(1000.0);
+        let trace = ArrivalTrace::Open(vec![
+            llm_workload::RequestArrival {
+                at: SimTime::ZERO,
+                shape: ok,
+            },
+            llm_workload::RequestArrival {
+                at: late,
+                shape: huge,
+            },
+        ]);
+        let baseline = engine().run(&ArrivalTrace::burst(1, ok), SchedulePolicy::Fcfs);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        ] {
+            let rep = engine().run(&trace, policy);
+            assert_eq!(rep.requests_served, 1, "{policy:?}");
+            assert_eq!(rep.kv_rejections, 1, "{policy:?}");
+            assert_eq!(rep.makespan, baseline.makespan, "{policy:?}");
+            assert_eq!(rep.tokens_per_sec, baseline.tokens_per_sec, "{policy:?}");
+        }
+        // Symmetrically, an early rejected arrival must not drag the
+        // span's start earlier than the first admitted request.
+        let trace = ArrivalTrace::Open(vec![
+            llm_workload::RequestArrival {
+                at: SimTime::ZERO,
+                shape: huge,
+            },
+            llm_workload::RequestArrival {
+                at: late,
+                shape: ok,
+            },
+        ]);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        ] {
+            let rep = engine().run(&trace, policy);
+            assert_eq!(rep.makespan, baseline.makespan, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_trace_serves_what_fits_and_counts_the_rest() {
+        let ok = RequestShape::new(300, 2);
+        let huge = RequestShape::new(10_000, 2);
+        let trace = ArrivalTrace::Open(vec![
+            llm_workload::RequestArrival {
+                at: SimTime::ZERO,
+                shape: ok,
+            },
+            llm_workload::RequestArrival {
+                at: SimTime::ZERO,
+                shape: huge,
+            },
+            llm_workload::RequestArrival {
+                at: SimTime::ZERO,
+                shape: ok,
+            },
+        ]);
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::ContinuousBatch { max_batch: 4 },
+        ] {
+            let rep = engine().run(&trace, policy);
+            assert_eq!(rep.requests_served, 2, "{policy:?}");
+            assert_eq!(rep.kv_rejections, 1, "{policy:?}");
+            assert_eq!(rep.tokens_served, 4);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_batch_queues_on_kv_capacity() {
+        // Each request reserves ~3000 KV tokens of the ~7.6k-token
+        // DRAM allocation, so only two fit at a time: the batch must
+        // run at peak 2 even though max_batch allows 4, and everything
+        // still completes once reservations release.
+        let shape = RequestShape::new(2990, 10);
+        let rep = engine().run(
+            &ArrivalTrace::burst(4, shape),
+            SchedulePolicy::ContinuousBatch { max_batch: 4 },
+        );
+        assert_eq!(rep.requests_served, 4);
+        assert_eq!(rep.kv_rejections, 0);
+        assert_eq!(rep.peak_batch_occupancy, 2);
+        assert_eq!(rep.tokens_served, 40);
+        // Later requests queued for capacity, not forever.
+        assert!(rep.queueing_delay_s.max().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_clients_rejoin_the_batch() {
+        // 2 clients x 3 requests each: every completion respawns at the
+        // token boundary, so the batch stays full and everything is
+        // served.
+        let shape = RequestShape::new(200, 2);
+        let rep = engine().run(
+            &ArrivalTrace::closed_loop(2, 3, shape),
+            SchedulePolicy::ContinuousBatch { max_batch: 2 },
+        );
+        assert_eq!(rep.requests_served, 6);
+        assert_eq!(rep.tokens_served, 12);
+        assert!(
+            rep.mean_batch_occupancy > 1.9,
+            "{}",
+            rep.mean_batch_occupancy
+        );
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic() {
+        let shape = RequestShape::new(300, 3);
+        let trace = ArrivalTrace::poisson(5.0, 6, shape, 42);
+        let policy = SchedulePolicy::ContinuousBatch { max_batch: 3 };
+        let a = engine().run(&trace, policy);
+        let b = engine().run(&trace, policy);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.mean_batch_occupancy, b.mean_batch_occupancy);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn empty_trace_reports_all_zero_finite() {
+        // Satellite: zero-duration runs report 0.0, never NaN.
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::ContinuousBatch { max_batch: 4 },
+        ] {
+            let rep = engine().run(&ArrivalTrace::Open(Vec::new()), policy);
+            assert_eq!(rep.requests_served, 0);
+            assert_eq!(rep.tokens_served, 0);
+            assert_eq!(rep.makespan, SimTime::ZERO);
+            assert_eq!(rep.tokens_per_sec, 0.0);
+            assert_eq!(rep.p50_token_latency_s, 0.0);
+            assert_eq!(rep.p99_token_latency_s, 0.0);
+            assert_eq!(rep.mean_token_latency_s, 0.0);
+            assert_eq!(rep.flash_utilization, 0.0);
+            assert_eq!(rep.npu_utilization, 0.0);
+            assert_eq!(rep.mean_batch_occupancy, 0.0);
+            assert!(rep.summary().lines().count() >= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_max_batch_panics() {
+        engine().run(
+            &ArrivalTrace::burst(1, RequestShape::new(10, 1)),
+            SchedulePolicy::ContinuousBatch { max_batch: 0 },
+        );
     }
 }

@@ -54,6 +54,26 @@ impl TrafficBreakdown {
         self.absorb_scaled(other, 1);
     }
 
+    /// Accumulates one **batched step**: `shared` once plus
+    /// `per_request × batch`.
+    ///
+    /// This is the traffic law of continuous batching
+    /// ([`crate::serve::SchedulePolicy::ContinuousBatch`]): the weight
+    /// *stream* — NAND reads, in-flash consumption, the D2D weight
+    /// share — is fetched **once** per plan slot for all requests
+    /// parked at that position, while everything a request does for
+    /// itself (its share of the GeMV arithmetic on both sides, KV
+    /// reads/writes, special functions) repeats per batch member.
+    pub fn absorb_batch_step(
+        &mut self,
+        shared: &TrafficBreakdown,
+        per_request: &TrafficBreakdown,
+        batch: u64,
+    ) {
+        self.absorb(shared);
+        self.absorb_scaled(per_request, batch);
+    }
+
     /// Accumulates `n` occurrences of another breakdown at once (an op
     /// repeated `n` times per token contributes `n ×` its traffic).
     pub fn absorb_scaled(&mut self, other: &TrafficBreakdown, n: u64) {
@@ -518,6 +538,29 @@ impl System {
     pub fn decode_speed(&mut self, model: &ModelSpec, seq_len: usize) -> f64 {
         self.decode_token(model, seq_len).tokens_per_sec
     }
+
+    /// NPU roofline time for `ops` arithmetic operations — the compute
+    /// floor under a shared weight stream. A batched weight GeMV
+    /// ([`crate::serve`]'s continuous batching) occupies the flash
+    /// device for the single-stream window *unless* `batch ×` the
+    /// per-request NPU share of the MACs exceeds it; this is how the
+    /// scheduler prices that ceiling, ending batching's free lunch at
+    /// large batch exactly as §III-A's intensity cliff predicts.
+    pub fn npu_compute_time(&self, ops: u64) -> SimTime {
+        self.npu.compute_time(ops)
+    }
+
+    /// Aggregate in-flash compute time for `ops` arithmetic operations
+    /// spread across every die's core — the other compute floor under a
+    /// shared weight stream. The paper sizes each core to exactly match
+    /// the NAND read rate at batch 1 ("computing power must match the
+    /// read speed"), so the in-flash share of a batched GeMV throttles
+    /// the stream once `batch ×` its MACs outrun the cores, well before
+    /// the NPU does.
+    pub fn flash_compute_time(&self, ops: u64) -> SimTime {
+        let cores = self.cfg.engine.topology.total_compute_cores() as u64;
+        sim_core::transfer_time(ops, cores.max(1) * self.cfg.engine.core.ops_per_sec())
+    }
 }
 
 #[cfg(test)]
@@ -664,6 +707,38 @@ mod tests {
         let sum = rep.gemv + rep.kv + rep.sfu;
         assert_eq!(sum, rep.total);
         assert!(rep.gemv > rep.kv); // weights dominate at seq 500
+    }
+
+    #[test]
+    fn batch_step_traffic_shares_weights_and_repeats_kv() {
+        let shared = TrafficBreakdown {
+            nand_array_bytes: 1000,
+            in_flash_bytes: 600,
+            d2d_bytes: 400,
+            dram_bytes: 0,
+            npu_ops: 50,
+            flash_ops: 70,
+        };
+        let per_request = TrafficBreakdown {
+            dram_bytes: 8,
+            npu_ops: 16,
+            ..TrafficBreakdown::default()
+        };
+        let mut t = TrafficBreakdown::default();
+        t.absorb_batch_step(&shared, &per_request, 4);
+        assert_eq!(t.nand_array_bytes, 1000); // weights streamed once
+        assert_eq!(t.in_flash_bytes, 600);
+        assert_eq!(t.d2d_bytes, 400);
+        assert_eq!(t.dram_bytes, 4 * 8); // KV repeats per request
+        assert_eq!(t.npu_ops, 50 + 4 * 16);
+        assert_eq!(t.flash_ops, 70);
+        // batch == 1 degenerates to absorbing both once.
+        let mut one = TrafficBreakdown::default();
+        one.absorb_batch_step(&shared, &per_request, 1);
+        let mut serial = TrafficBreakdown::default();
+        serial.absorb(&shared);
+        serial.absorb(&per_request);
+        assert_eq!(one, serial);
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl ArrivalTrace {
     /// An open-loop Poisson trace: `n` requests with exponential
     /// inter-arrival gaps at `rate_per_sec`, deterministic in `seed`.
     ///
+    /// `n == 0` yields an empty open trace — a legal workload that the
+    /// serving engine reports as all-zero statistics (no NaNs), pinned
+    /// by test. A zero, negative, or non-finite rate would make every
+    /// inter-arrival gap non-finite, so it panics instead of producing
+    /// a trace with `SimTime` garbage in it.
+    ///
     /// # Panics
     ///
     /// Panics if `rate_per_sec` is not finite and positive.
@@ -246,6 +252,35 @@ mod tests {
     #[should_panic(expected = "at least one token")]
     fn zero_token_request_panics() {
         RequestShape::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_poisson_panics() {
+        // rate 0 ⇒ gap = -ln(1-u)/0 = inf; reject at the API instead.
+        ArrivalTrace::poisson(0.0, 5, RequestShape::new(10, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn negative_rate_poisson_panics() {
+        ArrivalTrace::poisson(-3.0, 5, RequestShape::new(10, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn nan_rate_poisson_panics() {
+        ArrivalTrace::poisson(f64::NAN, 5, RequestShape::new(10, 1), 1);
+    }
+
+    #[test]
+    fn zero_request_poisson_is_an_empty_trace() {
+        // n == 0 is legal: an empty open trace with zero totals, which
+        // the serving engine turns into an all-zero report.
+        let t = ArrivalTrace::poisson(2.0, 0, RequestShape::new(10, 1), 1);
+        assert_eq!(t, ArrivalTrace::Open(Vec::new()));
+        assert_eq!(t.request_count(), 0);
+        assert_eq!(t.total_new_tokens(), 0);
     }
 
     #[test]

@@ -339,6 +339,38 @@ impl TokenPlan {
         self.slot_counts[slot]
     }
 
+    /// Whether `slot`'s ops are weight GeMVs — the ops whose NAND
+    /// weight stream a batched scheduler fetches **once** per batch
+    /// step and shares across every request parked at the same plan
+    /// position (cloud-style weight amortization). Weight slots are
+    /// always seq-invariant, so a batched step prices them from the
+    /// invariant table regardless of batch composition.
+    pub fn slot_is_weight(&self, slot: usize) -> bool {
+        matches!(
+            self.slot_reps[slot],
+            PlanOp::Fixed(DecodeOp::WeightGemv { .. })
+        )
+    }
+
+    /// Ops per token whose weight fetch a batch shares (the plan
+    /// positions mapping to weight slots). The remaining
+    /// `len() - weight_ops_per_token()` positions are per-request work
+    /// that scales with batch size.
+    pub fn weight_ops_per_token(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PlanOp::Fixed(DecodeOp::WeightGemv { .. })))
+            .count()
+    }
+
+    /// Number of seq-dependent cost slots (`cost_slots() -
+    /// invariant_slots()`): the attention templates a scheduler must
+    /// re-price per request from its sequence position when composing
+    /// a batch.
+    pub fn dependent_slots(&self) -> usize {
+        self.slot_reps.len() - self.invariant_slots
+    }
+
     /// A lazy iterator over the ops of one token at position `seq_len`.
     /// Equivalent to `decode_step(model, quant, seq_len).ops` without
     /// the allocation.
@@ -503,6 +535,37 @@ mod tests {
                                       // norms collapse, plus scores/softmax/context.
         assert!(plan.cost_slots() <= 14, "{}", plan.cost_slots());
         assert_eq!(plan.cost_slots() - plan.invariant_slots(), 3);
+    }
+
+    #[test]
+    fn weight_slots_are_invariant_and_partition_the_plan() {
+        for model in [zoo::opt_6_7b(), zoo::llama2_70b()] {
+            let plan = TokenPlan::new(&model, Quant::W8A8);
+            // Every weight slot sits in the invariant region: a batched
+            // step can always price the shared fetch from the table.
+            for slot in 0..plan.cost_slots() {
+                if plan.slot_is_weight(slot) {
+                    assert!(
+                        slot < plan.invariant_slots(),
+                        "weight slot {slot} seq-dependent"
+                    );
+                }
+            }
+            // Position count via slots agrees with the direct count.
+            let via_slots: u32 = (0..plan.cost_slots())
+                .filter(|&s| plan.slot_is_weight(s))
+                .map(|s| plan.slot_count(s))
+                .sum();
+            assert_eq!(via_slots as usize, plan.weight_ops_per_token());
+            assert_eq!(
+                plan.dependent_slots(),
+                plan.cost_slots() - plan.invariant_slots()
+            );
+            // Both families: Wq/Wk/Wv/Wo + FFN + lm_head dominate a
+            // token but are far fewer than all positions.
+            assert!(plan.weight_ops_per_token() > 0);
+            assert!(plan.weight_ops_per_token() < plan.len());
+        }
     }
 
     #[test]

@@ -55,32 +55,65 @@ impl KvCache {
     /// whether that is fatal (it is an out-of-memory condition for the
     /// baselines in Figure 9(b)).
     pub fn append(&mut self) -> Result<(), KvCapacityError> {
-        let needed = (self.tokens as u64 + 1) * self.bytes_per_token;
-        if needed > self.capacity {
-            return Err(KvCapacityError {
-                needed,
-                capacity: self.capacity,
-            });
-        }
-        self.tokens += 1;
-        Ok(())
+        self.prefill(1)
     }
 
-    /// Pre-populates the cache with `tokens` prompt tokens (prefill).
+    /// Pre-populates the cache with `tokens` prompt tokens (prefill),
+    /// or reserves a serving request's whole context ahead of
+    /// admission (paired with [`release`](KvCache::release)).
+    ///
+    /// The growth check is exactly [`fits`](KvCache::fits) — the two
+    /// can never disagree on what is admissible.
     ///
     /// # Errors
     ///
-    /// Returns [`KvCapacityError`] if the prompt alone exceeds DRAM.
+    /// Returns [`KvCapacityError`] if the tokens would exceed DRAM.
     pub fn prefill(&mut self, tokens: usize) -> Result<(), KvCapacityError> {
-        let needed = (self.tokens + tokens) as u64 * self.bytes_per_token;
-        if needed > self.capacity {
+        if !self.fits(tokens) {
             return Err(KvCapacityError {
-                needed,
+                needed: self.would_need(tokens),
                 capacity: self.capacity,
             });
         }
         self.tokens += tokens;
         Ok(())
+    }
+
+    /// Releases `tokens` entries (a request completed and its K/V
+    /// region is reclaimed). The admission-control counterpart of
+    /// [`prefill`](KvCache::prefill): a serving scheduler reserves a
+    /// request's whole context at admission and releases it here, so
+    /// queued requests can be admitted as capacity frees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` exceeds the current residency — releasing
+    /// more than was reserved is an accounting bug, not a recoverable
+    /// condition.
+    pub fn release(&mut self, tokens: usize) {
+        assert!(
+            tokens <= self.tokens,
+            "releasing {tokens} kv tokens but only {} are resident",
+            self.tokens
+        );
+        self.tokens -= tokens;
+    }
+
+    /// Whether `tokens` more entries would fit right now. The single
+    /// admissibility criterion: [`prefill`](KvCache::prefill) reserves
+    /// exactly when this returns true, so schedulers can gate on it
+    /// (wait vs. reserve) without duplicating the capacity arithmetic.
+    pub fn fits(&self, tokens: usize) -> bool {
+        self.would_need(tokens) <= self.capacity
+    }
+
+    /// Bytes resident after `tokens` more entries (saturating, so an
+    /// absurd request reads as "more than any capacity" instead of
+    /// wrapping).
+    fn would_need(&self, tokens: usize) -> u64 {
+        (self.tokens as u64)
+            .saturating_add(tokens as u64)
+            .saturating_mul(self.bytes_per_token)
     }
 
     /// Tokens currently cached.
@@ -151,6 +184,53 @@ mod tests {
         c.prefill(500).unwrap();
         assert_eq!(c.tokens(), 500);
         assert!(c.prefill(usize::MAX / 2000).is_err());
+    }
+
+    #[test]
+    fn release_reclaims_capacity() {
+        // Reservation lifecycle of one admitted request: reserve the
+        // whole context, serve, release, and the next request fits.
+        let mut c = cache(1_000_000_000); // 2 requests fit at a time
+        c.prefill(1).unwrap();
+        c.prefill(1).unwrap();
+        assert!(!c.fits(1));
+        assert!(c.prefill(1).is_err());
+        c.release(1);
+        assert!(c.fits(1));
+        c.prefill(1).unwrap();
+        assert_eq!(c.tokens(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 are resident")]
+    fn over_release_panics() {
+        let mut c = cache(1000);
+        c.prefill(2).unwrap();
+        c.release(3);
+    }
+
+    #[test]
+    fn fits_is_a_dry_run_prefill() {
+        let mut c = cache(1000);
+        let max = c.max_tokens();
+        assert!(c.fits(max));
+        assert!(!c.fits(max + 1));
+        c.prefill(max).unwrap();
+        assert!(c.fits(0));
+        assert!(!c.fits(1));
+        // fits never mutates.
+        assert_eq!(c.tokens(), max);
+    }
+
+    #[test]
+    fn absurd_requests_saturate_instead_of_wrapping() {
+        // 1 + usize::MAX must not wrap the byte arithmetic to zero and
+        // sneak past the gate.
+        let mut c = cache(1000);
+        c.append().unwrap();
+        assert!(!c.fits(usize::MAX));
+        assert!(c.prefill(usize::MAX).is_err());
+        assert_eq!(c.tokens(), 1);
     }
 
     #[test]

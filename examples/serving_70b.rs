@@ -6,8 +6,12 @@
 //! latency degrading *sub-linearly* in concurrency because one request's
 //! NPU/KV phase overlaps another's flash GeMV phase, and (b) the shared
 //! GeMV cache simulating each distinct weight shape once for the whole
-//! fleet. Finishes with an open-loop Poisson trace, the classic serving
-//! study.
+//! fleet. The same ladder is then re-run under continuous batching,
+//! where one weight stream per batch step lifts throughput well past
+//! the per-request FCFS plateau until the in-flash compute ceiling
+//! binds (~2.9× here), with KV-capacity admission control gating what
+//! joins the batch. Finishes with an open-loop Poisson trace, the
+//! classic serving study.
 //!
 //! ```text
 //! cargo run --release --example serving_70b [-- <tokens_per_request>]
@@ -67,10 +71,46 @@ fn main() {
         );
     }
 
+    // The same ladder under continuous batching: every rung walks the
+    // plan in lockstep and streams the 70B weights once per batch step,
+    // so throughput climbs past the per-request FCFS plateau until the
+    // in-flash compute cores (sized to match the read rate at batch 1)
+    // become the bottleneck. KV admission control reserves each
+    // request's whole context in DRAM at the boundary it joins.
+    println!("\nContinuous batching (max_batch = clients, KV-gated admission):");
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "clients", "tok/s", "p50 ms/tok", "p99 ms/tok", "vs FCFS", "occupancy", "kv-rej"
+    );
+    println!("{}", "-".repeat(88));
+    for clients in [1usize, 2, 4, 8] {
+        let trace = ArrivalTrace::closed_loop(clients, 1, shape);
+        let fcfs = engine.run(&trace, SchedulePolicy::Fcfs);
+        let rep = engine.run(
+            &trace,
+            SchedulePolicy::ContinuousBatch { max_batch: clients },
+        );
+        println!(
+            "{:<12} {:>9.2} {:>12.0} {:>12.0} {:>11.2}x {:>7.2} (pk {}) {:>8}",
+            clients,
+            rep.tokens_per_sec,
+            rep.p50_token_latency_s * 1e3,
+            rep.p99_token_latency_s * 1e3,
+            rep.tokens_per_sec / fcfs.tokens_per_sec,
+            rep.mean_batch_occupancy,
+            rep.peak_batch_occupancy,
+            rep.kv_rejections,
+        );
+    }
+
     // Open-loop Poisson arrivals near the device's service rate.
-    println!("\nOpen-loop Poisson trace (8 requests, ~0.4 req/s), FCFS vs round-robin:");
+    println!("\nOpen-loop Poisson trace (8 requests, ~0.4 req/s), FCFS vs round-robin vs batched:");
     let trace = ArrivalTrace::poisson(0.4, 8, shape, 2024);
-    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::RoundRobin] {
+    for policy in [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::ContinuousBatch { max_batch: 4 },
+    ] {
         let rep = engine.run(&trace, policy);
         println!("\n[{policy:?}]");
         println!("{}", rep.summary());
