@@ -8,15 +8,19 @@
 //! `ContinuousBatch { max_batch: clients }`, recording both the
 //! engine's wall-clock rate and the *simulated* serving speedup over
 //! FCFS (with batch occupancy and KV rejections), so the batched
-//! scheduler's trajectory lives in the same file. Emits
-//! `BENCH_serving.json` (`just perf`; CI runs one iteration as a smoke
-//! test so the binary cannot rot).
+//! scheduler's trajectory lives in the same file. A third pass runs
+//! the fleet with `PrefillMode::Modeled` — every prompt pays its
+//! prefill stage, so TTFT is arrival-relative — recording that
+//! variant's wall-clock trajectory and its simulated TTFT/prefill
+//! numbers under a `prefill` key. Emits `BENCH_serving.json`
+//! (`just perf`; CI runs one iteration of all three variants as a
+//! smoke test so the binary cannot rot).
 //!
 //! ```text
 //! serve_throughput [--iters N] [--clients N] [--tokens N] [--out PATH]
 //! ```
 
-use cambricon_llm::serve::{SchedulePolicy, ServeEngine};
+use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine};
 use cambricon_llm::SystemConfig;
 use llm_workload::{zoo, ArrivalTrace, RequestShape};
 use std::time::Instant;
@@ -58,6 +62,42 @@ fn parse_args() -> Args {
     args
 }
 
+/// One measured variant: an untimed warm-up run plus `iters` timed
+/// runs of `engine.run(trace, policy)`.
+///
+/// The warm-up settles OS/allocator/branch-predictor state; each `run`
+/// still builds a fresh `System` (deterministic, independent runs), so
+/// the fixed per-run pricing work — the flash DES for each distinct
+/// GeMV shape — is inside every timed iteration too: it is part of
+/// what a caller pays per run and is identical before and after any
+/// hot-path change, so the trajectory stays comparable. Returns the
+/// warm-up report plus `(per-iteration rates, best, mean)` in
+/// simulated-tokens-per-wall-second.
+fn measure(
+    engine: &ServeEngine,
+    trace: &ArrivalTrace,
+    policy: SchedulePolicy,
+    iters: usize,
+    label: &str,
+) -> (cambricon_llm::serve::ServeReport, Vec<f64>, f64, f64) {
+    let warm = engine.run(trace, policy);
+    let tokens = warm.tokens_served;
+    let mut rates = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let t0 = Instant::now();
+        let rep = engine.run(trace, policy);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(rep.tokens_served, tokens, "non-deterministic run");
+        let rate = tokens as f64 / wall;
+        println!("  {label}iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s");
+        rates.push(rate);
+    }
+    let best = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    println!("{label}best {best:.0} tok/s-wall, mean {mean:.0} tok/s-wall");
+    (warm, rates, best, mean)
+}
+
 fn main() {
     let args = parse_args();
     let model = zoo::llama2_70b();
@@ -71,29 +111,9 @@ fn main() {
         model.name, cfg.name, args.clients, args.tokens, args.iters
     );
 
-    // Untimed warm-up for OS/allocator/branch-predictor state. Note
-    // that each `run` builds a fresh `System` (deterministic,
-    // independent runs), so the fixed per-run pricing work — the flash
-    // DES for each distinct GeMV shape — is inside every timed
-    // iteration too; it is part of what a caller pays per run and is
-    // identical before and after any hot-path change, so the
-    // trajectory stays comparable.
-    let warm = engine.run(&trace, SchedulePolicy::RoundRobin);
+    let (warm, rates, best, mean) =
+        measure(&engine, &trace, SchedulePolicy::RoundRobin, args.iters, "");
     let tokens = warm.tokens_served;
-
-    let mut rates = Vec::with_capacity(args.iters);
-    for i in 0..args.iters {
-        let t0 = Instant::now();
-        let rep = engine.run(&trace, SchedulePolicy::RoundRobin);
-        let wall = t0.elapsed().as_secs_f64();
-        assert_eq!(rep.tokens_served, tokens, "non-deterministic run");
-        let rate = tokens as f64 / wall;
-        println!("  iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s");
-        rates.push(rate);
-    }
-    let best = rates.iter().cloned().fold(f64::MIN, f64::max);
-    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-    println!("best {best:.0} tok/s-wall, mean {mean:.0} tok/s-wall");
 
     // Batched variant: same fleet under continuous batching. The wall
     // rate tracks the batched loop's own hot path; the simulated
@@ -103,7 +123,8 @@ fn main() {
         max_batch: args.clients,
     };
     let fcfs_sim = engine.run(&trace, SchedulePolicy::Fcfs).tokens_per_sec;
-    let warm_b = engine.run(&trace, policy);
+    let (warm_b, rates_b, best_b, mean_b) =
+        measure(&engine, &trace, policy, args.iters, "batched ");
     let tokens_b = warm_b.tokens_served;
     println!(
         "batched({}): simulated {:.2} tok/s vs FCFS {:.2} ({:.2}x), occupancy {:.2} (peak {}), {} kv rejections",
@@ -115,19 +136,28 @@ fn main() {
         warm_b.peak_batch_occupancy,
         warm_b.kv_rejections,
     );
-    let mut rates_b = Vec::with_capacity(args.iters);
-    for i in 0..args.iters {
-        let t0 = Instant::now();
-        let rep = engine.run(&trace, policy);
-        let wall = t0.elapsed().as_secs_f64();
-        assert_eq!(rep.tokens_served, tokens_b, "non-deterministic run");
-        let rate = tokens_b as f64 / wall;
-        println!("  batched iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s");
-        rates_b.push(rate);
-    }
-    let best_b = rates_b.iter().cloned().fold(f64::MIN, f64::max);
-    let mean_b = rates_b.iter().sum::<f64>() / rates_b.len() as f64;
-    println!("batched best {best_b:.0} tok/s-wall, mean {mean_b:.0} tok/s-wall");
+
+    // Prefill-enabled variant: the same fleet, every prompt paying its
+    // prefill stage. The wall rate tracks the prefill-aware event
+    // loop's hot path; the simulated numbers record what the phase
+    // costs (arrival-relative TTFT, device time spent prefilling).
+    let engine_p = ServeEngine::new(cfg, model.clone()).with_prefill(PrefillMode::Modeled);
+    let (warm_p, rates_p, best_p, mean_p) = measure(
+        &engine_p,
+        &trace,
+        SchedulePolicy::RoundRobin,
+        args.iters,
+        "prefill ",
+    );
+    let tokens_p = warm_p.tokens_served;
+    println!(
+        "prefill({}): simulated ttft p50 {:.2} s / p99 {:.2} s, prefill busy {:.2} s over {:.2} s makespan",
+        args.clients,
+        warm_p.ttft_p50_s,
+        warm_p.ttft_p99_s,
+        warm_p.prefill_busy_s,
+        warm_p.makespan.as_secs_f64(),
+    );
 
     let iters_json = |rates: &[f64]| {
         rates
@@ -137,7 +167,7 @@ fn main() {
             .join(", ")
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"scenario\": {{\n    \"model\": \"{}\",\n    \"config\": \"{}\",\n    \"clients\": {},\n    \"prompt_len\": 1000,\n    \"new_tokens\": {},\n    \"policy\": \"RoundRobin\"\n  }},\n  \"tokens_served\": {},\n  \"iterations\": [{}],\n  \"sim_tokens_per_wall_sec_best\": {:.1},\n  \"sim_tokens_per_wall_sec_mean\": {:.1},\n  \"batched\": {{\n    \"policy\": \"ContinuousBatch\",\n    \"max_batch\": {},\n    \"tokens_served\": {},\n    \"sim_tokens_per_sec\": {:.4},\n    \"fcfs_sim_tokens_per_sec\": {:.4},\n    \"sim_speedup_vs_fcfs\": {:.4},\n    \"mean_batch_occupancy\": {:.4},\n    \"peak_batch_occupancy\": {},\n    \"kv_rejections\": {},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"scenario\": {{\n    \"model\": \"{}\",\n    \"config\": \"{}\",\n    \"clients\": {},\n    \"prompt_len\": 1000,\n    \"new_tokens\": {},\n    \"policy\": \"RoundRobin\"\n  }},\n  \"tokens_served\": {},\n  \"iterations\": [{}],\n  \"sim_tokens_per_wall_sec_best\": {:.1},\n  \"sim_tokens_per_wall_sec_mean\": {:.1},\n  \"batched\": {{\n    \"policy\": \"ContinuousBatch\",\n    \"max_batch\": {},\n    \"tokens_served\": {},\n    \"sim_tokens_per_sec\": {:.4},\n    \"fcfs_sim_tokens_per_sec\": {:.4},\n    \"sim_speedup_vs_fcfs\": {:.4},\n    \"mean_batch_occupancy\": {:.4},\n    \"peak_batch_occupancy\": {},\n    \"kv_rejections\": {},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }},\n  \"prefill\": {{\n    \"policy\": \"RoundRobin\",\n    \"mode\": \"Modeled\",\n    \"tokens_served\": {},\n    \"sim_ttft_p50_s\": {:.4},\n    \"sim_ttft_p99_s\": {:.4},\n    \"sim_ttft_mean_s\": {:.4},\n    \"sim_decode_ttft_mean_s\": {:.4},\n    \"sim_prefill_busy_s\": {:.4},\n    \"sim_makespan_s\": {:.4},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }}\n}}\n",
         model.name,
         cfg.name,
         args.clients,
@@ -156,7 +186,17 @@ fn main() {
         warm_b.kv_rejections,
         iters_json(&rates_b),
         best_b,
-        mean_b
+        mean_b,
+        tokens_p,
+        warm_p.ttft_p50_s,
+        warm_p.ttft_p99_s,
+        warm_p.ttft_mean_s,
+        warm_p.decode_ttft_s.mean().unwrap_or(0.0),
+        warm_p.prefill_busy_s,
+        warm_p.makespan.as_secs_f64(),
+        iters_json(&rates_p),
+        best_p,
+        mean_p
     );
     std::fs::write(&args.out, json).expect("write benchmark json");
     println!("wrote {}", args.out);

@@ -11,7 +11,7 @@ use accuracy_lab::surrogate;
 use baselines::{FlexGen, MlcLlm};
 use cambricon_llm::{
     cambricon_bom, cambricon_point, prefill, smartphone_npu_point, table_i, traditional_bom,
-    AreaModel, EnergyModel, Prices, SchedulePolicy, ServeEngine, System, SystemConfig,
+    AreaModel, EnergyModel, PrefillMode, Prices, SchedulePolicy, ServeEngine, System, SystemConfig,
 };
 use flash_sim::CoreParams;
 use llm_workload::{intensity, kv, zoo, ArrivalTrace, ModelSpec, Quant, RequestShape};
@@ -550,7 +550,7 @@ pub fn prefill_table() -> TextTable {
     let mut t = TextTable::new(["Config", "Model", "Prompt", "TTFT (s)", "Bound"]);
     for cfg in SystemConfig::paper_variants() {
         for (model, prompt) in [(zoo::opt_6_7b(), 256usize), (zoo::llama2_70b(), 256)] {
-            let r = prefill(&cfg, &model, prompt);
+            let r = prefill(&cfg, &model, prompt).expect("prompts here are non-empty");
             t.row([
                 cfg.name.to_string(),
                 model.name.to_string(),
@@ -584,6 +584,7 @@ pub fn serving_table() -> TextTable {
         "tok/s",
         "p50 ms/tok",
         "p99 ms/tok",
+        "TTFT p50 (s)",
         "Slowdown",
         "GeMV hit/miss",
         "OpCost hit/miss",
@@ -591,19 +592,26 @@ pub fn serving_table() -> TextTable {
         "KV-rej",
     ]);
     let engine = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b());
+    // The same device with the prefill phase simulated: TTFT becomes
+    // arrival-relative (queue wait + prompt prefill + first token), and
+    // each joining prompt's prefill contends with in-flight decodes.
+    let with_prefill = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+        .with_prefill(PrefillMode::Modeled);
     let shape = RequestShape::new(SEQ, 4);
     let mut single = 0.0;
     for clients in [1usize, 2, 4] {
         let trace = ArrivalTrace::closed_loop(clients, 1, shape);
-        for (name, policy) in [
-            ("round-robin", SchedulePolicy::RoundRobin),
+        for (name, engine, policy) in [
+            ("round-robin", &engine, SchedulePolicy::RoundRobin),
+            ("rr+prefill", &with_prefill, SchedulePolicy::RoundRobin),
             (
                 "cont-batch",
+                &engine,
                 SchedulePolicy::ContinuousBatch { max_batch: clients },
             ),
         ] {
             let rep = engine.run(&trace, policy);
-            if clients == 1 && policy == SchedulePolicy::RoundRobin {
+            if clients == 1 && name == "round-robin" {
                 single = rep.mean_token_latency_s;
             }
             t.row([
@@ -612,6 +620,7 @@ pub fn serving_table() -> TextTable {
                 num(rep.tokens_per_sec),
                 num(rep.p50_token_latency_s * 1e3),
                 num(rep.p99_token_latency_s * 1e3),
+                num(rep.ttft_p50_s),
                 format!("{:.2}x", rep.mean_token_latency_s / single),
                 format!("{}/{}", rep.gemv_cache_hits, rep.gemv_cache_misses),
                 format!("{}/{}", rep.op_cost_cache_hits, rep.op_cost_cache_misses),
@@ -633,10 +642,12 @@ mod tests {
     #[test]
     fn serving_table_shows_sublinear_slowdown() {
         let t = serving_table();
-        assert_eq!(t.len(), 6); // round-robin + cont-batch per rung
+        assert_eq!(t.len(), 9); // round-robin + rr+prefill + cont-batch per rung
         let rendered = t.render();
         assert!(rendered.contains("1.00x"), "{rendered}");
         assert!(rendered.contains("cont-batch"), "{rendered}");
+        assert!(rendered.contains("rr+prefill"), "{rendered}");
+        assert!(rendered.contains("TTFT"), "{rendered}");
         assert!(rendered.contains("peak"), "{rendered}");
     }
 

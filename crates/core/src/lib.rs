@@ -47,9 +47,11 @@ pub use config::SystemConfig;
 pub use cost::{cambricon_bom, table_i, traditional_bom, Bom, Prices};
 pub use energy::EnergyModel;
 pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
-pub use prefill::{prefill, PrefillReport};
+pub use prefill::{prefill, PrefillError, PrefillReport};
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
-pub use serve::{RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport};
+pub use serve::{
+    PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport,
+};
 pub use sweep::{smallest_config_reaching, sweep_channels, sweep_chips, SweepPoint};
-pub use system::{GemvCache, OpClass, OpCost, System, TokenReport, TrafficBreakdown};
+pub use system::{GemvCache, OpClass, OpCost, PrefillCost, System, TokenReport, TrafficBreakdown};
 pub use validate::{cross_check, CrossCheck};

@@ -6,12 +6,45 @@
 //! prefill by streaming weights once while the NPU applies them to the
 //! full token block (the flash cores' GeMV path is vector-only, so
 //! prefill GeMM runs on the NPU).
+//!
+//! The weight stream runs at the device's **effective** plain-read
+//! bandwidth ([`System::effective_read_bandwidth`]): each page read
+//! pays its per-chunk command cycles on the channel bus, so the
+//! sustained rate sits below the raw bus rate. An earlier revision
+//! derived those rates and then discarded them, streaming at the raw
+//! rate — the pinned tests below keep the effective rate wired in.
+//!
+//! This module is the standalone entry point; the serving engine
+//! ([`crate::serve`]) prices the same phase through the same
+//! [`System::prefill_cost`], so a request's in-engine prefill and this
+//! report always agree.
 
 use crate::config::SystemConfig;
-use llm_workload::{decode_step, DecodeOp, ModelSpec};
-use npu_sim::NpuModel;
+use crate::system::{PrefillCost, System};
+use llm_workload::{ModelSpec, PrefillPlan};
 use sim_core::SimTime;
-use tiling::effective_rates;
+
+/// Why a prefill request could not be priced.
+///
+/// The serving path must not be panickable from a trace, so malformed
+/// prompts surface as typed errors instead of asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillError {
+    /// The prompt holds no tokens: there is nothing to prefill. (The
+    /// serving engine treats such requests as decode-only and skips the
+    /// phase; see the pinned empty-prompt admission tests.)
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for PrefillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefillError::EmptyPrompt => write!(f, "empty prompt: nothing to prefill"),
+        }
+    }
+}
+
+impl std::error::Error for PrefillError {}
 
 /// Prefill timing for an `m`-token prompt.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,60 +55,50 @@ pub struct PrefillReport {
     pub total: SimTime,
     /// Time to first token implied (= prefill latency).
     pub ttft_s: f64,
+    /// Weight-stream time at the effective read bandwidth.
+    pub stream_s: f64,
+    /// NPU-side compute time (GeMMs + attention + SFU + KV writes).
+    pub compute_s: f64,
+    /// The attention (KV) share of `compute_s` — nonzero even for a
+    /// 1-token prompt (regression-pinned).
+    pub kv_compute_s: f64,
     /// Whether the phase was compute-bound (vs. weight-stream-bound).
     pub compute_bound: bool,
 }
 
-/// Estimates prefill latency: weights stream from flash once (plain
-/// reads at full channel bandwidth; no read-compute, since the on-die
-/// cores only do GeMV) while the NPU runs the `m`-wide GeMMs.
-pub fn prefill(cfg: &SystemConfig, model: &ModelSpec, prompt_tokens: usize) -> PrefillReport {
-    assert!(prompt_tokens > 0, "empty prompt");
-    let npu = NpuModel::new(cfg.npu);
-    let inp = cfg.alpha_inputs();
-    let tile = cfg
-        .tile_override
-        .unwrap_or_else(|| tiling::optimal_tile(&inp.topology, inp.weight_bits));
-    let rates = effective_rates(&inp, tile);
-    // Full channel bandwidth is available to plain reads during prefill.
-    let stream_bw = inp.timing.channel_bytes_per_sec as f64 * inp.topology.channels as f64;
-    let _ = rates;
-
-    let step = decode_step(model, cfg.quant, prompt_tokens.saturating_sub(1));
-    let weight_bytes = step.total_weight_bytes();
-    let stream_s = weight_bytes as f64 / stream_bw;
-
-    // NPU compute: every op of the step × m tokens (GeMVs become GeMMs).
-    let mut compute = SimTime::ZERO;
-    let m = prompt_tokens as u64;
-    for op in &step.ops {
-        match op {
-            DecodeOp::WeightGemv { rows, cols, .. } => {
-                compute += npu.compute_time(2 * *rows as u64 * *cols as u64 * m);
-            }
-            DecodeOp::KvMatVec {
-                ops, dram_bytes, ..
-            } => {
-                // Attention over the growing prefix ≈ half the full-length
-                // cost per token on average.
-                compute += npu.kv_op_time(ops * m / 2, dram_bytes * m / 2);
-            }
-            DecodeOp::Special { elems, .. } => {
-                compute += npu.sfu_time(elems * m);
-            }
-            DecodeOp::KvAppend { bytes } => {
-                compute += npu.dram_write_time(bytes * m);
-            }
+impl PrefillReport {
+    fn from_cost(prompt_tokens: usize, cost: PrefillCost) -> Self {
+        PrefillReport {
+            prompt_tokens,
+            total: cost.total,
+            ttft_s: cost.total.as_secs_f64(),
+            stream_s: cost.stream.as_secs_f64(),
+            compute_s: cost.compute.as_secs_f64(),
+            kv_compute_s: cost.kv_compute.as_secs_f64(),
+            compute_bound: cost.compute_bound,
         }
     }
-    let compute_s = compute.as_secs_f64();
-    let total_s = stream_s.max(compute_s);
-    PrefillReport {
-        prompt_tokens,
-        total: SimTime::from_secs_f64(total_s),
-        ttft_s: total_s,
-        compute_bound: compute_s > stream_s,
+}
+
+/// Estimates prefill latency: weights stream from flash once at the
+/// effective plain-read bandwidth (no read-compute — the on-die cores
+/// only do GeMV) while the NPU runs the `m`-wide GeMMs.
+///
+/// # Errors
+///
+/// [`PrefillError::EmptyPrompt`] if `prompt_tokens == 0`.
+pub fn prefill(
+    cfg: &SystemConfig,
+    model: &ModelSpec,
+    prompt_tokens: usize,
+) -> Result<PrefillReport, PrefillError> {
+    if prompt_tokens == 0 {
+        return Err(PrefillError::EmptyPrompt);
     }
+    let plan = PrefillPlan::new(model, cfg.quant);
+    let mut system = System::new(*cfg);
+    let cost = system.prefill_cost(&plan, prompt_tokens);
+    Ok(PrefillReport::from_cost(prompt_tokens, cost))
 }
 
 #[cfg(test)]
@@ -85,16 +108,16 @@ mod tests {
 
     #[test]
     fn short_prompts_are_stream_bound() {
-        let r = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8);
+        let r = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8).unwrap();
         assert!(!r.compute_bound);
-        // Streaming 6.7 GB over 8 GB/s ≈ 0.86 s.
+        // Streaming 6.7 GB over ~7.5 GB/s effective ≈ 0.9 s.
         assert!((0.5..1.5).contains(&r.ttft_s), "{}", r.ttft_s);
     }
 
     #[test]
     fn long_prompts_become_compute_bound() {
-        let short = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8);
-        let long = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 2000);
+        let short = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 8).unwrap();
+        let long = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 2000).unwrap();
         assert!(long.compute_bound);
         assert!(long.ttft_s > short.ttft_s);
     }
@@ -106,15 +129,55 @@ mod tests {
         let cfg = SystemConfig::cambricon_s();
         let model = zoo::opt_6_7b();
         let m = 256;
-        let pre = prefill(&cfg, &model, m);
+        let pre = prefill(&cfg, &model, m).unwrap();
         let mut sys = crate::system::System::new(cfg);
         let per_token = sys.decode_token(&model, m).total.as_secs_f64();
         assert!(pre.ttft_s < 0.3 * per_token * m as f64);
     }
 
     #[test]
-    #[should_panic(expected = "empty prompt")]
-    fn zero_prompt_panics() {
-        prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 0);
+    fn zero_prompt_is_a_typed_error_not_a_panic() {
+        // The serving path prices prefill from trace-supplied shapes,
+        // so an empty prompt must be a value, not an assert.
+        assert_eq!(
+            prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 0),
+            Err(PrefillError::EmptyPrompt)
+        );
+        assert!(!PrefillError::EmptyPrompt.to_string().is_empty());
+    }
+
+    #[test]
+    fn one_token_prompt_has_nonzero_attention_cost() {
+        // Regression: `ops * m / 2` truncated to zero at m = 1, erasing
+        // the KV term from the shortest prompts.
+        let r = prefill(&SystemConfig::cambricon_s(), &zoo::opt_6_7b(), 1).unwrap();
+        assert!(r.kv_compute_s > 0.0, "m=1 attention cost truncated away");
+        assert!(r.compute_s > r.kv_compute_s);
+    }
+
+    #[test]
+    fn stream_runs_at_the_effective_read_bandwidth() {
+        // Pins the bandwidth-satellite fix: the weight stream uses the
+        // tiling-derived effective rate (per-page command + slice
+        // overhead included), which sits strictly below the raw bus
+        // rate the old code used — so the stream is strictly slower
+        // than raw division would predict, and exactly as fast as the
+        // effective rate predicts.
+        let cfg = SystemConfig::cambricon_s();
+        let model = zoo::opt_6_7b();
+        let r = prefill(&cfg, &model, 8).unwrap();
+        let plan = PrefillPlan::new(&model, cfg.quant);
+        let mut sys = System::new(cfg);
+        let eff = sys.effective_read_bandwidth();
+        let raw = cfg.alpha_inputs().timing.channel_bytes_per_sec as f64
+            * cfg.alpha_inputs().topology.channels as f64;
+        assert!(eff < raw, "effective {eff} not below raw {raw}");
+        let expect = plan.weight_bytes() as f64 / eff;
+        assert!(
+            (r.stream_s - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            r.stream_s
+        );
+        assert!(r.stream_s > plan.weight_bytes() as f64 / raw);
     }
 }

@@ -80,10 +80,31 @@
 //! fleet of same-model requests costs one flash simulation per distinct
 //! shape, not per request.
 //!
-//! Prefill is not modelled here: requests enter with their prompt
-//! already in the KV cache (`RequestShape::prompt_len`), and decode —
-//! the phase that dominates interactive traffic — is simulated token
-//! by token with the context growing as tokens are emitted.
+//! # Prefill
+//!
+//! Every request walks the state machine **Queued → Prefilling →
+//! Decoding → Done**. Under [`PrefillMode::Modeled`] a request's
+//! prompt is not free: after admission it runs a prefill stage — the
+//! NPU's prompt-wide GeMMs overlapped with a one-shot weight stream at
+//! the *effective* (tiling-derived) read bandwidth, priced by
+//! [`System::prefill_cost`] once per `(model, quant, prompt_len)`
+//! bucket — that occupies **both** the flash channel and the NPU for
+//! its duration, so it contends with every in-flight decode:
+//!
+//! * under FCFS/round-robin a prefill waits for both resources to be
+//!   free, holds them together, and head-of-line blocks later flash
+//!   work until it completes;
+//! * under continuous batching the prefill of a joining request runs
+//!   at the token boundary where it is admitted, delaying the shared
+//!   batch step for everyone already in the batch.
+//!
+//! Time-to-first-token is therefore real: [`RequestReport::ttft`]
+//! spans arrival → first decoded token, including queue wait and
+//! prefill, and [`ServeReport`] carries its percentiles alongside the
+//! old decode-only metric ([`RequestReport::decode_ttft`]). With
+//! [`PrefillMode::Off`] (the default) requests enter with their prompt
+//! already in the KV cache, exactly as before — the decode-only
+//! goldens pin that mode bit for bit.
 //!
 //! # Example
 //!
@@ -101,13 +122,28 @@
 //! ```
 
 use crate::config::SystemConfig;
-use crate::system::{OpClass, System, TrafficBreakdown};
+use crate::system::{OpClass, PrefillCost, System, TrafficBreakdown};
 use llm_workload::kv::kv_bytes_per_token;
-use llm_workload::{ArrivalTrace, ModelSpec, OpCursor, RequestShape, TokenPlan};
+use llm_workload::{ArrivalTrace, ModelSpec, OpCursor, PrefillPlan, RequestShape, TokenPlan};
 use npu_sim::KvCache;
 use sim_core::{Aggregate, BusyTracker, Samples, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Whether the engine simulates the prefill phase of each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefillMode {
+    /// Requests enter with their prompt already materialized in the KV
+    /// cache; only decode is simulated. The pre-prefill behavior,
+    /// pinned bit for bit by the decode-only goldens.
+    #[default]
+    Off,
+    /// Each admitted request runs a prefill stage (NPU GeMM compute
+    /// overlapped with a one-shot weight stream at the effective read
+    /// bandwidth) that occupies the flash channel and the NPU, delaying
+    /// its own first token and contending with in-flight decodes.
+    Modeled,
+}
 
 /// How a freed resource picks the next waiting request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,10 +182,23 @@ pub struct RequestReport {
     pub id: usize,
     /// Arrival time.
     pub arrived: SimTime,
-    /// When the first op of the request started executing.
+    /// When the device first worked for the request (prefill start
+    /// under [`PrefillMode::Modeled`], first decode op otherwise).
     pub started: SimTime,
-    /// When the first token completed (decode-only TTFT).
-    pub first_token: SimTime,
+    /// When the request's prefill stage completed and decode could
+    /// begin. Equal to `started` when no prefill ran (mode off, or an
+    /// empty prompt).
+    pub prefill_end: SimTime,
+    /// Timestamp at which the first decoded token completed.
+    ///
+    /// This is an absolute virtual time, not a latency: subtract
+    /// `arrived` for the arrival-relative TTFT ([`RequestReport::ttft`])
+    /// or `prefill_end` for the decode-only metric
+    /// ([`RequestReport::decode_ttft`]) — the two are deliberately
+    /// separate methods so they cannot be confused. (This field was
+    /// previously named `first_token` and mislabeled "decode-only
+    /// TTFT".)
+    pub first_token_at: SimTime,
     /// When the last token completed.
     pub finished: SimTime,
     /// Tokens generated.
@@ -157,9 +206,28 @@ pub struct RequestReport {
 }
 
 impl RequestReport {
-    /// Time spent queued before any op ran.
+    /// Time spent queued before any work (prefill or decode op) ran.
     pub fn queueing_delay(&self) -> SimTime {
         self.started.saturating_sub(self.arrived)
+    }
+
+    /// Arrival-relative time to first token: queue wait + prefill +
+    /// the first decoded token. The user-visible TTFT.
+    pub fn ttft(&self) -> SimTime {
+        self.first_token_at.saturating_sub(self.arrived)
+    }
+
+    /// Decode-only time to first token, measured from the end of
+    /// prefill (or from service start when no prefill ran) — the
+    /// metric the old `first_token` field's label promised.
+    pub fn decode_ttft(&self) -> SimTime {
+        self.first_token_at.saturating_sub(self.prefill_end)
+    }
+
+    /// Time the request spent in its prefill stage (zero when none
+    /// ran).
+    pub fn prefill_time(&self) -> SimTime {
+        self.prefill_end.saturating_sub(self.started)
     }
 
     /// Mean time per generated token once running.
@@ -174,6 +242,9 @@ impl RequestReport {
 pub struct ServeReport {
     /// Scheduling policy that produced this report.
     pub policy: SchedulePolicy,
+    /// Whether prefill was simulated ([`PrefillMode::Modeled`]) or the
+    /// prompts were taken as pre-materialized.
+    pub prefill: PrefillMode,
     /// Requests completed.
     pub requests_served: usize,
     /// Tokens generated across all requests.
@@ -190,6 +261,21 @@ pub struct ServeReport {
     pub p99_token_latency_s: f64,
     /// Mean per-token latency in seconds.
     pub mean_token_latency_s: f64,
+    /// Median arrival-relative TTFT ([`RequestReport::ttft`]): queue
+    /// wait + prefill + first decoded token, in seconds.
+    pub ttft_p50_s: f64,
+    /// 99th-percentile arrival-relative TTFT in seconds.
+    pub ttft_p99_s: f64,
+    /// Mean arrival-relative TTFT in seconds.
+    pub ttft_mean_s: f64,
+    /// The old decode-only TTFT ([`RequestReport::decode_ttft`])
+    /// statistics, in seconds — reported alongside the arrival-relative
+    /// percentiles so the two metrics cannot be confused.
+    pub decode_ttft_s: Aggregate,
+    /// Virtual seconds the device spent in prefill stages (both
+    /// resources held). Zero with [`PrefillMode::Off`]; divide by the
+    /// makespan for the prefill share of utilization.
+    pub prefill_busy_s: f64,
     /// Queueing delay (arrival → first op) statistics, in seconds.
     pub queueing_delay_s: Aggregate,
     /// Busy fraction of the flash device over the makespan.
@@ -233,20 +319,35 @@ pub struct ServeReport {
 impl ServeReport {
     /// Renders the headline numbers as a short multi-line summary.
     pub fn summary(&self) -> String {
+        let makespan_s = self.makespan.as_secs_f64();
+        let prefill_pct = if makespan_s > 0.0 {
+            self.prefill_busy_s / makespan_s * 100.0
+        } else {
+            0.0
+        };
         format!(
             "served {} requests / {} tokens in {:.2} s ({:.2} tok/s)\n\
              token latency: p50 {:.0} ms, p99 {:.0} ms, mean {:.0} ms\n\
+             ttft (arrival-relative): p50 {:.0} ms, p99 {:.0} ms, mean {:.0} ms\n\
+             decode-only ttft: mean {:.0} ms | prefill busy {:.2} s ({:.0}% of makespan, {:?})\n\
              queueing delay: mean {:.0} ms, max {:.0} ms\n\
              utilization: flash {:.0}%, npu {:.0}% | gemv cache: {} hits / {} misses\n\
              op-cost cache: {} hits / {} misses\n\
              batch occupancy: mean {:.2}, peak {} | kv rejections: {}",
             self.requests_served,
             self.tokens_served,
-            self.makespan.as_secs_f64(),
+            makespan_s,
             self.tokens_per_sec,
             self.p50_token_latency_s * 1e3,
             self.p99_token_latency_s * 1e3,
             self.mean_token_latency_s * 1e3,
+            self.ttft_p50_s * 1e3,
+            self.ttft_p99_s * 1e3,
+            self.ttft_mean_s * 1e3,
+            self.decode_ttft_s.mean().unwrap_or(0.0) * 1e3,
+            self.prefill_busy_s,
+            prefill_pct,
+            self.prefill,
             self.queueing_delay_s.mean().unwrap_or(0.0) * 1e3,
             self.queueing_delay_s.max().unwrap_or(0.0) * 1e3,
             self.flash_utilization * 100.0,
@@ -315,13 +416,37 @@ pub struct ServeEngine {
     /// Shared decode plan: one per engine, reused by every request of
     /// every run.
     plan: TokenPlan,
+    /// Shared prefill aggregates, evaluated per `(prompt_len)` bucket
+    /// when [`PrefillMode::Modeled`].
+    prefill_plan: PrefillPlan,
+    prefill: PrefillMode,
 }
 
 impl ServeEngine {
-    /// An engine serving `model` on a device configured as `cfg`.
+    /// An engine serving `model` on a device configured as `cfg`, with
+    /// prefill off ([`PrefillMode::Off`] — the decode-only engine the
+    /// goldens pin).
     pub fn new(cfg: SystemConfig, model: ModelSpec) -> Self {
         let plan = TokenPlan::new(&model, cfg.quant);
-        ServeEngine { cfg, model, plan }
+        let prefill_plan = PrefillPlan::new(&model, cfg.quant);
+        ServeEngine {
+            cfg,
+            model,
+            plan,
+            prefill_plan,
+            prefill: PrefillMode::Off,
+        }
+    }
+
+    /// Sets the prefill mode for every subsequent run.
+    pub fn with_prefill(mut self, mode: PrefillMode) -> Self {
+        self.prefill = mode;
+        self
+    }
+
+    /// The active prefill mode.
+    pub fn prefill_mode(&self) -> PrefillMode {
+        self.prefill
     }
 
     /// The model this engine serves.
@@ -473,12 +598,30 @@ fn price_invariant(system: &mut System, plan: &TokenPlan, table: &mut PlanTable)
     table.priced = true;
 }
 
+/// Where a request sits in its lifecycle: the serving state machine
+/// `Queued → Prefilling → Decoding → Done`. With [`PrefillMode::Off`]
+/// (or an empty prompt) the `Prefilling` state is skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Admitted (or awaiting admission) with no work dispatched yet.
+    Queued,
+    /// The prefill stage holds the device (flash stream + NPU GeMMs).
+    Prefilling,
+    /// Emitting tokens through the shared [`TokenPlan`].
+    Decoding,
+    /// All tokens emitted; the request has left the engine.
+    Done,
+}
+
 /// Per-request execution state.
 #[derive(Debug)]
 struct RequestState {
     shape: RequestShape,
     arrived: SimTime,
     started: Option<SimTime>,
+    phase: Phase,
+    /// When the prefill stage completed (set iff one ran).
+    prefill_end: Option<SimTime>,
     first_token: Option<SimTime>,
     token_started: SimTime,
     /// Position in the shared [`TokenPlan`] (replaces a per-token
@@ -595,6 +738,10 @@ struct Simulation<'a> {
     plan: &'a TokenPlan,
     table: PlanTable,
     policy: SchedulePolicy,
+    /// Prefill simulation state: `Some` iff [`PrefillMode::Modeled`],
+    /// holding the shared aggregates and the per-prompt-length cost
+    /// buckets.
+    prefill: Option<PrefillState<'a>>,
     ev: EventCore,
     ready: RequestQueue,
     requests: Vec<RequestState>,
@@ -616,11 +763,73 @@ struct Simulation<'a> {
     kv_rejections: u64,
 }
 
+/// Shared prefill-pricing state of one simulation run.
+#[derive(Debug)]
+struct PrefillState<'a> {
+    plan: &'a PrefillPlan,
+    /// Cost per prompt length, derived once per bucket. The bucket
+    /// count is also the derivation count for op-pricing accounting.
+    buckets: HashMap<usize, PrefillCost>,
+    /// Total device time spent prefilling.
+    busy: SimTime,
+}
+
+impl<'a> PrefillState<'a> {
+    fn new(engine: &'a ServeEngine) -> Option<Self> {
+        match engine.prefill {
+            PrefillMode::Off => None,
+            PrefillMode::Modeled => Some(PrefillState {
+                plan: &engine.prefill_plan,
+                buckets: HashMap::new(),
+                busy: SimTime::ZERO,
+            }),
+        }
+    }
+
+    /// Prompt-length buckets actually derived (each one made
+    /// [`PrefillCost::COMPONENT_OPS`] op-cost lookups).
+    fn priced(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+}
+
 fn slot(class: OpClass) -> usize {
     match class {
         OpClass::Flash => 0,
         OpClass::Npu => 1,
     }
+}
+
+/// Event-core sentinel: the NPU-side hold of an in-flight prefill. A
+/// prefill occupies both resources; its completion event lives on the
+/// flash slot (owned by the prefilling request) and this sentinel
+/// parks the NPU slot for the same window, firing as a no-op release.
+const PREFILL_HOLD: usize = u32::MAX as usize - 1;
+
+/// Event-core sentinel for the batched loop's admission-prefill window:
+/// the serialized prefills of newly joined members, after which the
+/// delayed batch step starts.
+const BATCH_PREFILL: usize = u32::MAX as usize - 2;
+
+/// Prices (or recalls) the prefill stage of an `m`-token prompt.
+///
+/// Derived once per `(model, quant, prompt_len)` bucket — the engine
+/// fixes `(model, quant)`, so the key is the prompt length. The bucket
+/// count doubles as the derivation count for the report's op-pricing
+/// accounting ([`PrefillCost::COMPONENT_OPS`] cache lookups per
+/// derivation).
+fn prefill_cost_bucketed(
+    system: &mut System,
+    plan: &PrefillPlan,
+    buckets: &mut HashMap<usize, PrefillCost>,
+    m: usize,
+) -> PrefillCost {
+    if let Some(c) = buckets.get(&m) {
+        return *c;
+    }
+    let c = system.prefill_cost(plan, m);
+    buckets.insert(m, c);
+    c
 }
 
 /// Appends a fresh request and returns its id. The single construction
@@ -635,10 +844,16 @@ fn push_request(
     client: Option<usize>,
 ) -> usize {
     let id = requests.len();
+    debug_assert!(
+        id < BATCH_PREFILL,
+        "request ids collide with event sentinels"
+    );
     requests.push(RequestState {
         shape,
         arrived,
         started: None,
+        phase: Phase::Queued,
+        prefill_end: None,
         first_token: None,
         token_started: arrived,
         cursor: OpCursor::new(shape.prompt_len),
@@ -754,6 +969,7 @@ impl<'a> Simulation<'a> {
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
             policy,
+            prefill: PrefillState::new(engine),
             ev: EventCore::default(),
             ready: RequestQueue::default(),
             requests: Vec::new(),
@@ -787,6 +1003,7 @@ impl<'a> Simulation<'a> {
                 system,
                 plan,
                 table,
+                prefill,
                 ev,
                 ready,
                 requests,
@@ -846,12 +1063,41 @@ impl<'a> Simulation<'a> {
                             continue;
                         }
                         // The request prices its first token and enters
-                        // the ready queue of its first op's resource.
+                        // the ready queue of its first op's resource —
+                        // unless it owes a prefill, in which case it
+                        // queues (state `Queued`) for the whole device
+                        // on the flash list and prices its first token
+                        // only once the prompt is resident.
                         if first_arrival.is_none() {
                             *first_arrival = Some(requests[id].arrived);
                         }
                         let r = &mut requests[id];
                         r.token_started = now;
+                        if prefill.is_some() && r.shape.prompt_len > 0 {
+                            let r = &requests[id];
+                            ready.enqueue(slot(OpClass::Flash), ready_key(policy, r), id);
+                        } else {
+                            r.phase = Phase::Decoding;
+                            begin_token(system, plan, table, traffic, r);
+                            let r = &requests[id];
+                            ready.enqueue(
+                                slot(table.classes[r.cursor.index()]),
+                                ready_key(policy, r),
+                                id,
+                            );
+                        }
+                    }
+                    Fired::Op(_, id) if id == PREFILL_HOLD => {
+                        // The NPU-side hold of a finished prefill:
+                        // nothing to step, the resource is simply free
+                        // again for the dispatch pass below.
+                    }
+                    Fired::Op(_, id) if requests[id].phase == Phase::Prefilling => {
+                        // Prefill complete (flash-slot event): the
+                        // prompt is resident, decode begins.
+                        let r = &mut requests[id];
+                        r.phase = Phase::Decoding;
+                        r.prefill_end = Some(now);
                         begin_token(system, plan, table, traffic, r);
                         let r = &requests[id];
                         ready.enqueue(
@@ -885,12 +1131,16 @@ impl<'a> Simulation<'a> {
                                 ready.enqueue(slot(table.classes[0]), ready_key(policy, r), id);
                             } else {
                                 // Request complete.
+                                let r = &mut requests[id];
+                                r.phase = Phase::Done;
                                 let r = &requests[id];
+                                let started = r.started.expect("completed request never started");
                                 let report = RequestReport {
                                     id,
                                     arrived: r.arrived,
-                                    started: r.started.expect("completed request never started"),
-                                    first_token: r
+                                    started,
+                                    prefill_end: r.prefill_end.unwrap_or(started),
+                                    first_token_at: r
                                         .first_token
                                         .expect("completed request has tokens"),
                                     finished: now,
@@ -926,6 +1176,39 @@ impl<'a> Simulation<'a> {
                     let Some(id) = ready.pop_min(s) else {
                         continue;
                     };
+                    if requests[id].phase == Phase::Queued {
+                        // A pending prefill: it needs the whole device
+                        // (flash stream + NPU GeMMs together). If the
+                        // NPU is mid-op, the flash idles and the
+                        // prefill keeps its place at the head — no
+                        // later flash work jumps it — retrying at the
+                        // next completion event.
+                        debug_assert_eq!(s, slot(OpClass::Flash));
+                        if ev.busy(slot(OpClass::Npu)) {
+                            let r = &requests[id];
+                            ready.enqueue(s, ready_key(policy, r), id);
+                            continue;
+                        }
+                        *stamp += 1;
+                        let r = &mut requests[id];
+                        r.last_scheduled = *stamp;
+                        r.phase = Phase::Prefilling;
+                        if r.started.is_none() {
+                            r.started = Some(now);
+                        }
+                        let m = r.shape.prompt_len;
+                        let ps = prefill
+                            .as_mut()
+                            .expect("Queued is only dispatched with prefill on");
+                        let cost = prefill_cost_bucketed(system, ps.plan, &mut ps.buckets, m);
+                        ps.busy += cost.total;
+                        traffic.absorb(&cost.traffic);
+                        busy_track[0].add_interval(now, now + cost.total);
+                        busy_track[1].add_interval(now, now + cost.total);
+                        ev.schedule_op(0, now + cost.total, id);
+                        ev.schedule_op(1, now + cost.total, PREFILL_HOLD);
+                        continue;
+                    }
                     *stamp += 1;
                     let r = &mut requests[id];
                     r.last_scheduled = *stamp;
@@ -966,8 +1249,14 @@ impl<'a> Simulation<'a> {
         // every other dispatch replayed a memoized cost through the
         // slot table. Internal table bookkeeping (e.g. a slot re-read
         // at token start) is not counted, so hits + misses partition
-        // the dispatched ops exactly.
-        let ops_dispatched = tokens_served * self.plan.len() as u64;
+        // the dispatched ops exactly. Prefill pricing contributes its
+        // component lookups once per prompt-length bucket.
+        let (prefill_priced, prefill_busy) = self
+            .prefill
+            .as_ref()
+            .map_or((0, SimTime::ZERO), |p| (p.priced(), p.busy));
+        let ops_dispatched =
+            tokens_served * self.plan.len() as u64 + prefill_priced * PrefillCost::COMPONENT_OPS;
 
         // GeMV recall accounting: every weight-GeMV dispatch beyond the
         // first per distinct shape reused a memoized flash simulation
@@ -976,6 +1265,12 @@ impl<'a> Simulation<'a> {
 
         build_report(ReportInputs {
             policy: self.policy,
+            prefill: if self.prefill.is_some() {
+                PrefillMode::Modeled
+            } else {
+                PrefillMode::Off
+            },
+            prefill_busy,
             first_arrival: self.first_arrival,
             token_latencies: self.token_latencies,
             queueing: self.queueing,
@@ -997,6 +1292,9 @@ impl<'a> Simulation<'a> {
 /// accounting, batch occupancy, rejections).
 struct ReportInputs<'a> {
     policy: SchedulePolicy,
+    prefill: PrefillMode,
+    /// Total device time spent in prefill stages.
+    prefill_busy: SimTime,
     /// Arrival time of the first admitted request, if any.
     first_arrival: Option<SimTime>,
     token_latencies: Samples,
@@ -1020,6 +1318,8 @@ struct ReportInputs<'a> {
 fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
     let ReportInputs {
         policy,
+        prefill,
+        prefill_busy,
         first_arrival,
         mut token_latencies,
         queueing,
@@ -1033,6 +1333,15 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
         traffic,
         done,
     } = inputs;
+    // TTFT in both frames: arrival-relative (queue + prefill + first
+    // decoded token — the user-visible number) and the old decode-only
+    // metric, kept side by side so neither masquerades as the other.
+    let mut ttft = Samples::new();
+    let mut decode_ttft = Aggregate::new();
+    for r in &done {
+        ttft.push(r.ttft().as_secs_f64());
+        decode_ttft.push(r.decode_ttft().as_secs_f64());
+    }
     // Span of actual service: first admitted arrival to last
     // completion. Rejected arrivals advance the event clock but are
     // not simulated, so they must not stretch the makespan or dilute
@@ -1052,6 +1361,7 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
     let gemv_misses = system.gemv_cache().misses();
     ServeReport {
         policy,
+        prefill,
         requests_served: done.len(),
         tokens_served,
         makespan,
@@ -1063,6 +1373,11 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
         p50_token_latency_s: token_latencies.percentile(50.0).unwrap_or(0.0),
         p99_token_latency_s: token_latencies.percentile(99.0).unwrap_or(0.0),
         mean_token_latency_s: token_latencies.mean().unwrap_or(0.0),
+        ttft_p50_s: ttft.percentile(50.0).unwrap_or(0.0),
+        ttft_p99_s: ttft.percentile(99.0).unwrap_or(0.0),
+        ttft_mean_s: ttft.mean().unwrap_or(0.0),
+        decode_ttft_s: decode_ttft,
+        prefill_busy_s: prefill_busy.as_secs_f64(),
         queueing_delay_s: queueing,
         flash_utilization: busy_track[0].utilization(makespan),
         npu_utilization: busy_track[1].utilization(makespan),
@@ -1159,6 +1474,10 @@ struct BatchedSimulation<'a> {
     system: System,
     plan: &'a TokenPlan,
     table: PlanTable,
+    /// Prefill simulation state (`Some` iff [`PrefillMode::Modeled`]):
+    /// newly admitted members prefill serially at their admission
+    /// boundary, delaying the shared step.
+    prefill: Option<PrefillState<'a>>,
     ev: EventCore,
     batch: BatchState,
     /// Arrived requests awaiting admission, FIFO.
@@ -1197,6 +1516,7 @@ impl<'a> BatchedSimulation<'a> {
             system: System::new(engine.cfg),
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
+            prefill: PrefillState::new(engine),
             ev: EventCore::default(),
             batch: BatchState::new(max_batch),
             pending: VecDeque::new(),
@@ -1240,9 +1560,20 @@ impl<'a> BatchedSimulation<'a> {
                         while let Some(more) = self.ev.pop_due_arrival(now) {
                             self.pending.push_back(more);
                         }
-                        self.admit(now);
-                        self.start_step(now);
+                        let delay = self.admit(now);
+                        self.launch(now, delay);
                     }
+                }
+                Fired::Op(_, id) if id == BATCH_PREFILL => {
+                    // The admission-prefill window closed: every
+                    // joining member's prompt is resident, the delayed
+                    // batch step starts.
+                    for &id in &self.batch.active {
+                        if self.requests[id].phase == Phase::Prefilling {
+                            self.requests[id].phase = Phase::Decoding;
+                        }
+                    }
+                    self.start_step(now);
                 }
                 Fired::Op(..) => {
                     self.batch.pos += 1;
@@ -1276,11 +1607,14 @@ impl<'a> BatchedSimulation<'a> {
                 r.cursor.next_token();
                 survivors.push(id);
             } else {
+                r.phase = Phase::Done;
+                let started = r.started.expect("completed request never started");
                 let report = RequestReport {
                     id,
                     arrived: r.arrived,
-                    started: r.started.expect("completed request never started"),
-                    first_token: r.first_token.expect("completed request has tokens"),
+                    started,
+                    prefill_end: r.prefill_end.unwrap_or(started),
+                    first_token_at: r.first_token.expect("completed request has tokens"),
                     finished: now,
                     tokens: r.tokens_done,
                 };
@@ -1305,14 +1639,34 @@ impl<'a> BatchedSimulation<'a> {
         while let Some(id) = self.ev.pop_due_arrival(now) {
             self.pending.push_back(id);
         }
-        self.admit(now);
-        self.start_step(now);
+        let delay = self.admit(now);
+        self.launch(now, delay);
+    }
+
+    /// Starts the device after an admission pass: either immediately
+    /// (no prefill owed) or after the serialized prefill window of the
+    /// members that just joined — during which the whole device is
+    /// held, so prefill of a joining request delays the shared batch
+    /// step for everyone already in the batch.
+    fn launch(&mut self, now: SimTime, prefill_delay: SimTime) {
+        if prefill_delay > SimTime::ZERO {
+            debug_assert!(!self.stepping(), "prefill window overlaps a step");
+            self.busy_track[0].add_interval(now, now + prefill_delay);
+            self.busy_track[1].add_interval(now, now + prefill_delay);
+            self.ev
+                .schedule_op(slot(OpClass::Flash), now + prefill_delay, BATCH_PREFILL);
+        } else {
+            self.start_step(now);
+        }
     }
 
     /// FIFO admission at a token boundary: reserve KV for the whole
     /// context or wait. A context that can never fit (it exceeds the
-    /// empty-cache capacity) is rejected and counted.
-    fn admit(&mut self, now: SimTime) {
+    /// empty-cache capacity) is rejected and counted. Returns the
+    /// serialized prefill time the newly admitted members owe before
+    /// the next step may start (zero with prefill off).
+    fn admit(&mut self, now: SimTime) -> SimTime {
+        let mut delay = SimTime::ZERO;
         while self.batch.active.len() < self.batch.max_batch {
             let Some(&id) = self.pending.front() else {
                 break;
@@ -1358,7 +1712,36 @@ impl<'a> BatchedSimulation<'a> {
             if r.started.is_none() {
                 r.started = Some(now);
             }
+            // Admission puts the member straight into decode; the
+            // prefill branch below overrides to `Prefilling` when the
+            // member owes a prefill stage first.
+            r.phase = Phase::Decoding;
+            // The joining member's prompt must be made resident first:
+            // its prefill runs in the admission window (serialized
+            // after any other joiner's), pushing the next shared step
+            // out by its full overlapped latency. `started` is the
+            // member's actual prefill start — after the joiners ahead
+            // of it — so the serialized wait lands in queueing delay,
+            // not in an inflated prefill_time.
+            if shape.prompt_len > 0 {
+                if let Some(ps) = &mut self.prefill {
+                    let cost = prefill_cost_bucketed(
+                        &mut self.system,
+                        ps.plan,
+                        &mut ps.buckets,
+                        shape.prompt_len,
+                    );
+                    ps.busy += cost.total;
+                    self.traffic.absorb(&cost.traffic);
+                    let r = &mut self.requests[id];
+                    r.started = Some(now + delay);
+                    delay += cost.total;
+                    r.phase = Phase::Prefilling;
+                    r.prefill_end = Some(now + delay);
+                }
+            }
         }
+        delay
     }
 
     /// Prices and launches one batch step: the invariant table is
@@ -1445,11 +1828,22 @@ impl<'a> BatchedSimulation<'a> {
         );
         debug_assert_eq!(self.kv.tokens(), 0, "kv reservations leaked");
         self.batch.note_occupancy(self.ev.now);
+        let (prefill_priced, prefill_busy) = self
+            .prefill
+            .as_ref()
+            .map_or((0, SimTime::ZERO), |p| (p.priced(), p.busy));
+        self.ops_dispatched += prefill_priced * PrefillCost::COMPONENT_OPS;
 
         build_report(ReportInputs {
             policy: SchedulePolicy::ContinuousBatch {
                 max_batch: self.batch.max_batch,
             },
+            prefill: if self.prefill.is_some() {
+                PrefillMode::Modeled
+            } else {
+                PrefillMode::Off
+            },
+            prefill_busy,
             first_arrival: self.first_arrival,
             token_latencies: self.token_latencies,
             queueing: self.queueing,
@@ -1633,7 +2027,7 @@ mod tests {
         assert_eq!(batched.requests.len(), fcfs.requests.len());
         for (b, f) in batched.requests.iter().zip(&fcfs.requests) {
             assert_eq!(b.finished, f.finished);
-            assert_eq!(b.first_token, f.first_token);
+            assert_eq!(b.first_token_at, f.first_token_at);
         }
         assert_eq!(batched.peak_batch_occupancy, 1);
         assert!((batched.mean_batch_occupancy - 1.0).abs() < 1e-9);

@@ -17,12 +17,65 @@
 
 use crate::config::SystemConfig;
 use flash_sim::{DeviceReport, FlashDevice};
-use llm_workload::{decode_step, DecodeOp, ModelSpec, OpShape, TokenPlan};
+use llm_workload::{
+    decode_step, DecodeOp, ModelSpec, OpShape, PrefillPlan, SpecialKind, TokenPlan,
+};
 use npu_sim::NpuModel;
 use sim_core::{CacheStats, SimTime};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use tiling::{plan_gemv, GemvPlan};
+
+/// Timing and traffic of one **prefill** phase, as priced by
+/// [`System::prefill_cost`].
+///
+/// Prefill overlaps a one-shot weight stream from flash (plain reads —
+/// the in-flash cores are GeMV-only, so they sit the phase out) with
+/// the NPU running the prompt-wide GeMMs, attention, special functions
+/// and KV writes; the phase lasts as long as the slower side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillCost {
+    /// Phase latency: `max(stream, compute)`.
+    pub total: SimTime,
+    /// One-shot weight stream at the effective (tiling-derived) read
+    /// bandwidth — the flash-channel occupancy of the phase.
+    pub stream: SimTime,
+    /// NPU-side time: GeMMs + attention + SFU + KV writes.
+    pub compute: SimTime,
+    /// The attention (KV) share of `compute` — the term the legacy
+    /// integer division truncated to zero for 1-token prompts.
+    pub kv_compute: SimTime,
+    /// Whether the NPU side outlasted the weight stream.
+    pub compute_bound: bool,
+    /// Traffic of the phase: the full weight stream crosses NAND and
+    /// the D2D link to the NPU; attention and KV writes hit DRAM.
+    pub traffic: TrafficBreakdown,
+}
+
+impl PrefillCost {
+    /// The all-zero cost of an empty prompt: nothing streams, nothing
+    /// computes, the phase is skipped.
+    pub const ZERO: PrefillCost = PrefillCost {
+        total: SimTime::ZERO,
+        stream: SimTime::ZERO,
+        compute: SimTime::ZERO,
+        kv_compute: SimTime::ZERO,
+        compute_bound: false,
+        traffic: TrafficBreakdown {
+            nand_array_bytes: 0,
+            in_flash_bytes: 0,
+            d2d_bytes: 0,
+            dram_bytes: 0,
+            npu_ops: 0,
+            flash_ops: 0,
+        },
+    };
+
+    /// Number of [`System::op_cost`] lookups one cost derivation makes
+    /// (GeMM, attention, SFU, KV write) — lets serving reports keep
+    /// `hits + misses` an exact partition of priced work.
+    pub const COMPONENT_OPS: u64 = 4;
+}
 
 /// Byte/operation traffic of one generated token, for the energy model
 /// and Figure 16.
@@ -333,6 +386,8 @@ pub struct System {
     npu: NpuModel,
     gemv_cache: GemvCache,
     op_cache: OpCostCache,
+    /// Memoized [`System::effective_read_bandwidth`].
+    eff_read_bw: Option<f64>,
 }
 
 impl System {
@@ -343,6 +398,7 @@ impl System {
             cfg,
             gemv_cache: GemvCache::new(),
             op_cache: OpCostCache::new(),
+            eff_read_bw: None,
         }
     }
 
@@ -560,6 +616,96 @@ impl System {
     pub fn flash_compute_time(&self, ops: u64) -> SimTime {
         let cores = self.cfg.engine.topology.total_compute_cores() as u64;
         sim_core::transfer_time(ops, cores.max(1) * self.cfg.engine.core.ops_per_sec())
+    }
+
+    /// Effective plain-read bandwidth of the whole flash device in
+    /// bytes/second — what a one-shot weight stream (prefill) actually
+    /// sustains.
+    ///
+    /// Derived from the same [`tiling::effective_rates`] the GeMV
+    /// planner uses: each page read pays its per-chunk command cycles
+    /// on the channel bus (`t_page`), so the sustained rate is
+    /// `channels × page_bytes / t_page` — strictly below the raw bus
+    /// rate `channels × channel_bytes_per_sec`, which ignores command
+    /// overhead and slice chunking. Memoized per system.
+    pub fn effective_read_bandwidth(&mut self) -> f64 {
+        if let Some(bw) = self.eff_read_bw {
+            return bw;
+        }
+        let inp = self.cfg.alpha_inputs();
+        let tile = self
+            .cfg
+            .tile_override
+            .unwrap_or_else(|| tiling::optimal_tile(&inp.topology, inp.weight_bits));
+        let rates = tiling::effective_rates(&inp, tile);
+        let bw = inp.topology.channels as f64 * inp.topology.page_bytes as f64 / rates.t_page_s;
+        self.eff_read_bw = Some(bw);
+        bw
+    }
+
+    /// Prices the prefill phase of an `m`-token prompt: a one-shot
+    /// weight stream at [`System::effective_read_bandwidth`] overlapped
+    /// with the NPU-side compute, the phase lasting as long as the
+    /// slower side ([`PrefillCost`]).
+    ///
+    /// The NPU components are priced through [`System::op_cost`] as
+    /// canonical shapes ([`OpCostCache`] entries like any decode op —
+    /// exactly [`PrefillCost::COMPONENT_OPS`] lookups per call), so a
+    /// serving fleet re-pricing the same `(model, quant, prompt_len)`
+    /// bucket is pure recall. An empty prompt is a legal no-op:
+    /// [`PrefillCost::ZERO`], nothing priced.
+    pub fn prefill_cost(&mut self, plan: &PrefillPlan, prompt_tokens: usize) -> PrefillCost {
+        assert_eq!(
+            plan.quant(),
+            self.cfg.quant,
+            "prefill plan quantization does not match the system"
+        );
+        if prompt_tokens == 0 {
+            return PrefillCost::ZERO;
+        }
+        let m = prompt_tokens;
+        let mut traffic = TrafficBreakdown::default();
+
+        // The whole weight set streams from NAND once, all of it to the
+        // NPU over the D2D link (no in-flash compute during prefill).
+        let weight_bytes = plan.weight_bytes();
+        let stream = SimTime::from_secs_f64(weight_bytes as f64 / self.effective_read_bandwidth());
+        traffic.nand_array_bytes += weight_bytes;
+        traffic.d2d_bytes += weight_bytes;
+
+        // NPU side, one canonical shape per component (GeMMs as pure
+        // compute, attention as KV-stream work, SFU, KV writes).
+        let gemm = self.op_cost(&DecodeOp::KvMatVec {
+            label: "prefill_gemm",
+            dram_bytes: 0,
+            ops: plan.gemm_ops(m),
+        });
+        let (attn_ops, attn_dram) = plan.attention(m);
+        let attn = self.op_cost(&DecodeOp::KvMatVec {
+            label: "prefill_attn",
+            dram_bytes: attn_dram,
+            ops: attn_ops,
+        });
+        let sfu = self.op_cost(&DecodeOp::Special {
+            kind: SpecialKind::Softmax,
+            elems: plan.sfu_elems(m),
+        });
+        let append = self.op_cost(&DecodeOp::KvAppend {
+            bytes: plan.kv_write_bytes(m),
+        });
+        for cost in [&gemm, &attn, &sfu, &append] {
+            traffic.absorb(&cost.traffic);
+        }
+        let compute = gemm.latency + attn.latency + sfu.latency + append.latency;
+
+        PrefillCost {
+            total: stream.max(compute),
+            stream,
+            compute,
+            kv_compute: attn.latency,
+            compute_bound: compute > stream,
+            traffic,
+        }
     }
 }
 

@@ -382,6 +382,140 @@ impl TokenPlan {
     }
 }
 
+/// Aggregate workload of the **prefill** phase of one `(model, quant)`
+/// pair, precomputed once like a [`TokenPlan`] and evaluated at any
+/// prompt length without re-enumerating ops.
+///
+/// §II-A: prefill processes all `m` prompt tokens in parallel, reusing
+/// each weight tile across the whole block — the weights stream from
+/// flash **once** (plain reads; the in-flash cores are GeMV-only, so
+/// the `m`-wide GeMMs run on the NPU) while the NPU applies them to
+/// every token. The plan therefore splits into:
+///
+/// * a prompt-length-invariant weight stream (`weight_bytes`), and
+/// * NPU-side compute that scales with `m`: the GeMM MACs (linear),
+///   attention over the growing prefix (quadratic, averaged to `m²/2`),
+///   special functions and KV writes (linear, plus the softmax term
+///   that grows with the prefix).
+///
+/// All totals are exact integer aggregates of the per-token decode op
+/// stream evaluated at the prompt's final position, with the
+/// triangular prefix average computed by ceiling division so even a
+/// 1-token prompt books its (tiny but nonzero) attention cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillPlan {
+    quant: Quant,
+    /// Weight bytes of one token's ops — streamed once for the phase.
+    weight_bytes: u64,
+    /// GeMM MAC-ops (2·rows·cols summed over weight ops) per token.
+    gemm_ops_per_token: u64,
+    /// Attention MAC-ops of one token at sequence position 1, summed
+    /// over the attention ops (scores + context × layers). Position `s`
+    /// costs `s ×` this.
+    attn_ops_coeff: u64,
+    /// Attention DRAM bytes at sequence position 1 (same scaling).
+    attn_dram_coeff: u64,
+    /// Softmax SFU elements at sequence position 1 (`heads × layers`).
+    softmax_elems_coeff: u64,
+    /// Sequence-invariant SFU elements per token (norms, activations,
+    /// RoPE).
+    sfu_fixed_elems: u64,
+    /// KV bytes appended to DRAM per token.
+    kv_append_bytes: u64,
+}
+
+impl PrefillPlan {
+    /// Builds the prefill plan for `model` under `quant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ModelSpec::validate`].
+    pub fn new(model: &ModelSpec, quant: Quant) -> Self {
+        // The per-token op stream at sequence position 1 (seq_len 0)
+        // exposes every coefficient: seq-dependent ops scale linearly
+        // with the position, everything else is invariant.
+        let step = crate::ops::decode_step(model, quant, 0);
+        let mut plan = PrefillPlan {
+            quant,
+            weight_bytes: 0,
+            gemm_ops_per_token: 0,
+            attn_ops_coeff: 0,
+            attn_dram_coeff: 0,
+            softmax_elems_coeff: 0,
+            sfu_fixed_elems: 0,
+            kv_append_bytes: 0,
+        };
+        for op in &step.ops {
+            match op {
+                DecodeOp::WeightGemv { rows, cols, .. } => {
+                    plan.weight_bytes += quant.weight_bytes(*rows as u64 * *cols as u64);
+                    plan.gemm_ops_per_token += 2 * *rows as u64 * *cols as u64;
+                }
+                DecodeOp::KvMatVec {
+                    ops, dram_bytes, ..
+                } => {
+                    plan.attn_ops_coeff += ops;
+                    plan.attn_dram_coeff += dram_bytes;
+                }
+                DecodeOp::Special {
+                    kind: SpecialKind::Softmax,
+                    elems,
+                } => plan.softmax_elems_coeff += elems,
+                DecodeOp::Special { elems, .. } => plan.sfu_fixed_elems += elems,
+                DecodeOp::KvAppend { bytes } => plan.kv_append_bytes += bytes,
+            }
+        }
+        plan
+    }
+
+    /// Quantization scheme the plan was built for.
+    pub fn quant(&self) -> Quant {
+        self.quant
+    }
+
+    /// Weight bytes the phase streams from flash — **once**, regardless
+    /// of prompt length (the whole point of prefill).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_bytes
+    }
+
+    /// NPU GeMM MAC-ops for an `m`-token prompt: every weight matrix
+    /// multiplies all `m` token activations.
+    pub fn gemm_ops(&self, m: usize) -> u64 {
+        self.gemm_ops_per_token * m as u64
+    }
+
+    /// Attention `(mac_ops, dram_bytes)` for an `m`-token prompt.
+    ///
+    /// Token `t` attends to a `t`-long prefix, so the total over the
+    /// block is the triangular sum `≈ m²/2 ×` the position-1
+    /// coefficient. Computed with ceiling division so `m = 1` books a
+    /// nonzero cost (plain `/ 2` on the integer product truncated it
+    /// to zero).
+    pub fn attention(&self, m: usize) -> (u64, u64) {
+        let m = m as u64;
+        (
+            (self.attn_ops_coeff * m * m).div_ceil(2),
+            (self.attn_dram_coeff * m * m).div_ceil(2),
+        )
+    }
+
+    /// SFU elements for an `m`-token prompt: the invariant per-token
+    /// work × `m`, plus the softmax rows over each token's growing
+    /// prefix — the same triangular `≈ m²/2` average (ceiling
+    /// division) as [`PrefillPlan::attention`], since token `t` only
+    /// softmaxes a `t`-long score row.
+    pub fn sfu_elems(&self, m: usize) -> u64 {
+        let m = m as u64;
+        self.sfu_fixed_elems * m + (self.softmax_elems_coeff * m * m).div_ceil(2)
+    }
+
+    /// KV-cache bytes written to DRAM for an `m`-token prompt.
+    pub fn kv_write_bytes(&self, m: usize) -> u64 {
+        self.kv_append_bytes * m as u64
+    }
+}
+
 /// A detached position in a [`TokenPlan`]'s op sequence.
 ///
 /// The cursor does not borrow the plan, so long-lived schedulers (one
@@ -587,6 +721,88 @@ mod tests {
             cursor.peek(&plan),
             Some(decode_step(&model, Quant::W8A8, 101).ops[0])
         );
+    }
+
+    #[test]
+    fn prefill_plan_aggregates_match_the_op_stream() {
+        for model in [zoo::opt_6_7b(), zoo::llama2_70b()] {
+            let quant = Quant::W8A8;
+            let plan = PrefillPlan::new(&model, quant);
+            for m in [1usize, 7, 256] {
+                // The per-token stream at the prompt's final position.
+                let step = decode_step(&model, quant, m - 1);
+                let weight_bytes: u64 = step.ops.iter().map(|o| o.weight_bytes(quant)).sum();
+                assert_eq!(plan.weight_bytes(), weight_bytes, "m {m}");
+                let gemm: u64 = step
+                    .ops
+                    .iter()
+                    .map(|o| match o {
+                        DecodeOp::WeightGemv { rows, cols, .. } => {
+                            2 * *rows as u64 * *cols as u64 * m as u64
+                        }
+                        _ => 0,
+                    })
+                    .sum();
+                assert_eq!(plan.gemm_ops(m), gemm, "m {m}");
+                let (attn_ops, attn_dram) = plan.attention(m);
+                let (step_ops, step_dram) = step.ops.iter().fold((0u64, 0u64), |acc, o| match o {
+                    DecodeOp::KvMatVec {
+                        ops, dram_bytes, ..
+                    } => (acc.0 + ops, acc.1 + dram_bytes),
+                    _ => acc,
+                });
+                assert_eq!(attn_ops, (step_ops * m as u64).div_ceil(2));
+                assert_eq!(attn_dram, (step_dram * m as u64).div_ceil(2));
+                // Fixed specials scale with the block; softmax rows
+                // get the same triangular prefix average as attention.
+                let (sfu_fixed, softmax) = step.ops.iter().fold((0u64, 0u64), |acc, o| match o {
+                    DecodeOp::Special {
+                        kind: SpecialKind::Softmax,
+                        elems,
+                    } => (acc.0, acc.1 + elems),
+                    DecodeOp::Special { elems, .. } => (acc.0 + elems, acc.1),
+                    _ => acc,
+                });
+                assert_eq!(
+                    plan.sfu_elems(m),
+                    sfu_fixed * m as u64 + (softmax * m as u64).div_ceil(2),
+                    "m {m}"
+                );
+                let appends: u64 = step
+                    .ops
+                    .iter()
+                    .map(|o| match o {
+                        DecodeOp::KvAppend { bytes } => bytes * m as u64,
+                        _ => 0,
+                    })
+                    .sum();
+                assert_eq!(plan.kv_write_bytes(m), appends, "m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_token_prompt_books_nonzero_attention() {
+        // Regression for the `ops * m / 2` truncation bug: the integer
+        // product at m = 1 divided to zero, erasing attention entirely.
+        let plan = PrefillPlan::new(&zoo::opt_6_7b(), Quant::W8A8);
+        let (ops, dram) = plan.attention(1);
+        assert!(ops > 0, "1-token prompt lost its attention MACs");
+        assert!(dram > 0, "1-token prompt lost its KV traffic");
+        // And the quadratic growth is intact.
+        let (ops_2, _) = plan.attention(2);
+        assert!(ops_2 > 2 * ops);
+    }
+
+    #[test]
+    fn prefill_plan_zero_prompt_is_all_zero() {
+        let plan = PrefillPlan::new(&zoo::llama2_7b(), Quant::W4A16);
+        assert_eq!(plan.gemm_ops(0), 0);
+        assert_eq!(plan.attention(0), (0, 0));
+        assert_eq!(plan.sfu_elems(0), 0);
+        assert_eq!(plan.kv_write_bytes(0), 0);
+        // The weight stream is prompt-invariant, not zero.
+        assert!(plan.weight_bytes() > 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn main() {
     println!("prompt {prompt} tokens, reply {reply} tokens\n");
 
     // Phase 1: prefill.
-    let pre = prefill(&cfg, &model, prompt);
+    let pre = prefill(&cfg, &model, prompt).expect("chatbot prompts are non-empty");
     println!(
         "prefill: {:.2} s to first token ({})",
         pre.ttft_s,
