@@ -4,23 +4,33 @@
 //! Cambricon-LLM-L, a closed-loop fleet of clients) and measures how
 //! many *simulated* tokens the engine retires per *wall-clock* second —
 //! the number that bounds how large a traffic sweep the simulator can
-//! explore. The same scenario is then run under
-//! `ContinuousBatch { max_batch: clients }`, recording both the
-//! engine's wall-clock rate and the *simulated* serving speedup over
-//! FCFS (with batch occupancy and KV rejections), so the batched
-//! scheduler's trajectory lives in the same file. A third pass runs
-//! the fleet with `PrefillMode::Modeled` — every prompt pays its
-//! prefill stage, so TTFT is arrival-relative — recording that
-//! variant's wall-clock trajectory and its simulated TTFT/prefill
-//! numbers under a `prefill` key. Emits `BENCH_serving.json`
-//! (`just perf`; CI runs one iteration of all three variants as a
-//! smoke test so the binary cannot rot).
+//! explore. Four variants share the file so every hot path's trajectory
+//! lives together:
+//!
+//! 1. the round-robin decode-only fleet (the original scenario);
+//! 2. `ContinuousBatch { max_batch: clients }` — the batched loop,
+//!    with the simulated speedup over FCFS and admission behaviour;
+//! 3. the same fleet under `PrefillMode::Modeled` — TTFT is
+//!    arrival-relative and every prompt pays its prefill;
+//! 4. **coalesced** — a long-decode scenario (`--long-tokens`,
+//!    default 512) under continuous batching, measured with span
+//!    fast-forwarding on (the default engine) *and* with the per-op
+//!    reference loop (`SpanMode::PerOp`, the PR 4 engine), recording
+//!    the wall-clock speedup spans buy in the regime they exist for.
+//!
+//! Each variant reports best/mean/**median** over the iterations —
+//! the raw arrays routinely carry ~35% scheduler outliers, which the
+//! median ignores. Emits `BENCH_serving.json` via [`bench::json`]
+//! (`just perf`; CI runs one iteration of all variants as a smoke test
+//! so the binary cannot rot).
 //!
 //! ```text
-//! serve_throughput [--iters N] [--clients N] [--tokens N] [--out PATH]
+//! serve_throughput [--iters N] [--clients N] [--tokens N]
+//!                  [--long-tokens N] [--out PATH]
 //! ```
 
-use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine};
+use bench::Json;
+use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode};
 use cambricon_llm::SystemConfig;
 use llm_workload::{zoo, ArrivalTrace, RequestShape};
 use std::time::Instant;
@@ -29,6 +39,7 @@ struct Args {
     iters: usize,
     clients: usize,
     tokens: usize,
+    long_tokens: usize,
     out: String,
 }
 
@@ -37,6 +48,7 @@ fn parse_args() -> Args {
         iters: 5,
         clients: 8,
         tokens: 32,
+        long_tokens: 512,
         out: "BENCH_serving.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +63,11 @@ fn parse_args() -> Args {
             "--iters" => args.iters = value("--iters").parse().expect("--iters: integer"),
             "--clients" => args.clients = value("--clients").parse().expect("--clients: integer"),
             "--tokens" => args.tokens = value("--tokens").parse().expect("--tokens: integer"),
+            "--long-tokens" => {
+                args.long_tokens = value("--long-tokens")
+                    .parse()
+                    .expect("--long-tokens: integer")
+            }
             "--out" => args.out = value("--out"),
             other => {
                 eprintln!("unknown flag {other}; see the doc comment for usage");
@@ -59,7 +76,54 @@ fn parse_args() -> Args {
         }
     }
     assert!(args.iters >= 1, "--iters must be at least 1");
+    assert!(args.long_tokens >= 1, "--long-tokens must be at least 1");
     args
+}
+
+/// Wall-clock statistics of one measured variant, in
+/// simulated-tokens-per-wall-second.
+struct WallStats {
+    rates: Vec<f64>,
+    best: f64,
+    mean: f64,
+    median: f64,
+}
+
+impl WallStats {
+    fn of(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty());
+        let best = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        let mut sorted = rates.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        WallStats {
+            rates,
+            best,
+            mean,
+            median,
+        }
+    }
+
+    /// The three summary fields plus the raw array, appended to a
+    /// variant's JSON object.
+    fn fields(&self, obj: Json) -> Json {
+        obj.field(
+            "iterations",
+            Json::array(self.rates.iter().map(|r| Json::float(*r, 1))),
+        )
+        .field("sim_tokens_per_wall_sec_best", Json::float(self.best, 1))
+        .field("sim_tokens_per_wall_sec_mean", Json::float(self.mean, 1))
+        .field(
+            "sim_tokens_per_wall_sec_median",
+            Json::float(self.median, 1),
+        )
+    }
 }
 
 /// One measured variant: an untimed warm-up run plus `iters` timed
@@ -70,16 +134,14 @@ fn parse_args() -> Args {
 /// the fixed per-run pricing work — the flash DES for each distinct
 /// GeMV shape — is inside every timed iteration too: it is part of
 /// what a caller pays per run and is identical before and after any
-/// hot-path change, so the trajectory stays comparable. Returns the
-/// warm-up report plus `(per-iteration rates, best, mean)` in
-/// simulated-tokens-per-wall-second.
+/// hot-path change, so the trajectory stays comparable.
 fn measure(
     engine: &ServeEngine,
     trace: &ArrivalTrace,
     policy: SchedulePolicy,
     iters: usize,
     label: &str,
-) -> (cambricon_llm::serve::ServeReport, Vec<f64>, f64, f64) {
+) -> (ServeReport, WallStats) {
     let warm = engine.run(trace, policy);
     let tokens = warm.tokens_served;
     let mut rates = Vec::with_capacity(iters);
@@ -92,10 +154,12 @@ fn measure(
         println!("  {label}iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s");
         rates.push(rate);
     }
-    let best = rates.iter().cloned().fold(f64::MIN, f64::max);
-    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-    println!("{label}best {best:.0} tok/s-wall, mean {mean:.0} tok/s-wall");
-    (warm, rates, best, mean)
+    let stats = WallStats::of(rates);
+    println!(
+        "{label}best {:.0}, median {:.0}, mean {:.0} tok/s-wall",
+        stats.best, stats.median, stats.mean
+    );
+    (warm, stats)
 }
 
 fn main() {
@@ -111,9 +175,7 @@ fn main() {
         model.name, cfg.name, args.clients, args.tokens, args.iters
     );
 
-    let (warm, rates, best, mean) =
-        measure(&engine, &trace, SchedulePolicy::RoundRobin, args.iters, "");
-    let tokens = warm.tokens_served;
+    let (warm, stats) = measure(&engine, &trace, SchedulePolicy::RoundRobin, args.iters, "");
 
     // Batched variant: same fleet under continuous batching. The wall
     // rate tracks the batched loop's own hot path; the simulated
@@ -123,9 +185,7 @@ fn main() {
         max_batch: args.clients,
     };
     let fcfs_sim = engine.run(&trace, SchedulePolicy::Fcfs).tokens_per_sec;
-    let (warm_b, rates_b, best_b, mean_b) =
-        measure(&engine, &trace, policy, args.iters, "batched ");
-    let tokens_b = warm_b.tokens_served;
+    let (warm_b, stats_b) = measure(&engine, &trace, policy, args.iters, "batched ");
     println!(
         "batched({}): simulated {:.2} tok/s vs FCFS {:.2} ({:.2}x), occupancy {:.2} (peak {}), {} kv rejections",
         args.clients,
@@ -138,18 +198,15 @@ fn main() {
     );
 
     // Prefill-enabled variant: the same fleet, every prompt paying its
-    // prefill stage. The wall rate tracks the prefill-aware event
-    // loop's hot path; the simulated numbers record what the phase
-    // costs (arrival-relative TTFT, device time spent prefilling).
+    // prefill stage.
     let engine_p = ServeEngine::new(cfg, model.clone()).with_prefill(PrefillMode::Modeled);
-    let (warm_p, rates_p, best_p, mean_p) = measure(
+    let (warm_p, stats_p) = measure(
         &engine_p,
         &trace,
         SchedulePolicy::RoundRobin,
         args.iters,
         "prefill ",
     );
-    let tokens_p = warm_p.tokens_served;
     println!(
         "prefill({}): simulated ttft p50 {:.2} s / p99 {:.2} s, prefill busy {:.2} s over {:.2} s makespan",
         args.clients,
@@ -159,45 +216,108 @@ fn main() {
         warm_p.makespan.as_secs_f64(),
     );
 
-    let iters_json = |rates: &[f64]| {
-        rates
-            .iter()
-            .map(|r| format!("{r:.1}"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
-    let json = format!(
-        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"scenario\": {{\n    \"model\": \"{}\",\n    \"config\": \"{}\",\n    \"clients\": {},\n    \"prompt_len\": 1000,\n    \"new_tokens\": {},\n    \"policy\": \"RoundRobin\"\n  }},\n  \"tokens_served\": {},\n  \"iterations\": [{}],\n  \"sim_tokens_per_wall_sec_best\": {:.1},\n  \"sim_tokens_per_wall_sec_mean\": {:.1},\n  \"batched\": {{\n    \"policy\": \"ContinuousBatch\",\n    \"max_batch\": {},\n    \"tokens_served\": {},\n    \"sim_tokens_per_sec\": {:.4},\n    \"fcfs_sim_tokens_per_sec\": {:.4},\n    \"sim_speedup_vs_fcfs\": {:.4},\n    \"mean_batch_occupancy\": {:.4},\n    \"peak_batch_occupancy\": {},\n    \"kv_rejections\": {},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }},\n  \"prefill\": {{\n    \"policy\": \"RoundRobin\",\n    \"mode\": \"Modeled\",\n    \"tokens_served\": {},\n    \"sim_ttft_p50_s\": {:.4},\n    \"sim_ttft_p99_s\": {:.4},\n    \"sim_ttft_mean_s\": {:.4},\n    \"sim_decode_ttft_mean_s\": {:.4},\n    \"sim_prefill_busy_s\": {:.4},\n    \"sim_makespan_s\": {:.4},\n    \"iterations\": [{}],\n    \"sim_tokens_per_wall_sec_best\": {:.1},\n    \"sim_tokens_per_wall_sec_mean\": {:.1}\n  }}\n}}\n",
-        model.name,
-        cfg.name,
-        args.clients,
-        args.tokens,
-        tokens,
-        iters_json(&rates),
-        best,
-        mean,
-        args.clients,
-        tokens_b,
-        warm_b.tokens_per_sec,
-        fcfs_sim,
-        warm_b.tokens_per_sec / fcfs_sim,
-        warm_b.mean_batch_occupancy,
-        warm_b.peak_batch_occupancy,
-        warm_b.kv_rejections,
-        iters_json(&rates_b),
-        best_b,
-        mean_b,
-        tokens_p,
-        warm_p.ttft_p50_s,
-        warm_p.ttft_p99_s,
-        warm_p.ttft_mean_s,
-        warm_p.decode_ttft_s.mean().unwrap_or(0.0),
-        warm_p.prefill_busy_s,
-        warm_p.makespan.as_secs_f64(),
-        iters_json(&rates_p),
-        best_p,
-        mean_p
+    // Coalesced variant: the long-decode regime span fast-forwarding
+    // exists for — many tokens between scheduling boundaries. Measured
+    // twice on the same trace: the per-op reference loop (the PR 4
+    // engine, `SpanMode::PerOp`) as the recorded baseline, then the
+    // default coalescing engine; the ratio is the tentpole speedup.
+    let long_shape = RequestShape::new(1000, args.long_tokens);
+    let long_trace = ArrivalTrace::closed_loop(args.clients, 1, long_shape);
+    println!(
+        "coalesced: long-decode scenario, {} clients x {} tokens, ContinuousBatch",
+        args.clients, args.long_tokens
     );
-    std::fs::write(&args.out, json).expect("write benchmark json");
+    let engine_per_op = ServeEngine::new(cfg, model.clone()).with_span_mode(SpanMode::PerOp);
+    let (_, stats_base) = measure(&engine_per_op, &long_trace, policy, args.iters, "per-op ");
+    let (warm_c, stats_c) = measure(&engine, &long_trace, policy, args.iters, "spans ");
+    println!(
+        "coalesced({} tokens): spans {:.0} vs per-op {:.0} tok/s-wall — {:.2}x (median {:.2}x)",
+        args.long_tokens,
+        stats_c.best,
+        stats_base.best,
+        stats_c.best / stats_base.best,
+        stats_c.median / stats_base.median,
+    );
+
+    let doc = Json::obj()
+        .field("benchmark", "serve_throughput")
+        .field(
+            "scenario",
+            Json::obj()
+                .field("model", model.name)
+                .field("config", cfg.name)
+                .field("clients", args.clients)
+                .field("prompt_len", 1000u64)
+                .field("new_tokens", args.tokens)
+                .field("policy", "RoundRobin"),
+        )
+        .field("tokens_served", warm.tokens_served);
+    let doc = stats.fields(doc);
+    let doc = doc
+        .field(
+            "batched",
+            stats_b.fields(
+                Json::obj()
+                    .field("policy", "ContinuousBatch")
+                    .field("max_batch", args.clients)
+                    .field("tokens_served", warm_b.tokens_served)
+                    .field("sim_tokens_per_sec", Json::float(warm_b.tokens_per_sec, 4))
+                    .field("fcfs_sim_tokens_per_sec", Json::float(fcfs_sim, 4))
+                    .field(
+                        "sim_speedup_vs_fcfs",
+                        Json::float(warm_b.tokens_per_sec / fcfs_sim, 4),
+                    )
+                    .field(
+                        "mean_batch_occupancy",
+                        Json::float(warm_b.mean_batch_occupancy, 4),
+                    )
+                    .field("peak_batch_occupancy", warm_b.peak_batch_occupancy)
+                    .field("kv_rejections", warm_b.kv_rejections),
+            ),
+        )
+        .field(
+            "prefill",
+            stats_p.fields(
+                Json::obj()
+                    .field("policy", "RoundRobin")
+                    .field("mode", "Modeled")
+                    .field("tokens_served", warm_p.tokens_served)
+                    .field("sim_ttft_p50_s", Json::float(warm_p.ttft_p50_s, 4))
+                    .field("sim_ttft_p99_s", Json::float(warm_p.ttft_p99_s, 4))
+                    .field("sim_ttft_mean_s", Json::float(warm_p.ttft_mean_s, 4))
+                    .field(
+                        "sim_decode_ttft_mean_s",
+                        Json::float(warm_p.decode_ttft_s.mean().unwrap_or(0.0), 4),
+                    )
+                    .field("sim_prefill_busy_s", Json::float(warm_p.prefill_busy_s, 4))
+                    .field(
+                        "sim_makespan_s",
+                        Json::float(warm_p.makespan.as_secs_f64(), 4),
+                    ),
+            ),
+        )
+        .field(
+            "coalesced",
+            stats_c.fields(
+                Json::obj()
+                    .field("policy", "ContinuousBatch")
+                    .field("max_batch", args.clients)
+                    .field("new_tokens", args.long_tokens)
+                    .field("tokens_served", warm_c.tokens_served)
+                    .field(
+                        "per_op_baseline",
+                        stats_base.fields(Json::obj().field("span_mode", "PerOp")),
+                    )
+                    .field(
+                        "span_speedup_best",
+                        Json::float(stats_c.best / stats_base.best, 2),
+                    )
+                    .field(
+                        "span_speedup_median",
+                        Json::float(stats_c.median / stats_base.median, 2),
+                    ),
+            ),
+        );
+    std::fs::write(&args.out, format!("{doc}\n")).expect("write benchmark json");
     println!("wrote {}", args.out);
 }

@@ -1,0 +1,220 @@
+//! Minimal JSON rendering for benchmark reports.
+//!
+//! The serving benchmark used to assemble `BENCH_serving.json` with one
+//! thirty-argument `format!` string — unreviewable and unmergeable.
+//! This module is the small structured replacement: build a [`Json`]
+//! value, `to_string()` it, write the file. Output is deterministic —
+//! object fields render in insertion order, two-space indentation,
+//! arrays inline — so committed benchmark files diff cleanly.
+//!
+//! Numbers are formatted at the call site ([`Json::int`],
+//! [`Json::float`] with an explicit decimal count) because a benchmark
+//! report's precision is part of its format, not a serializer default.
+//!
+//! # Example
+//!
+//! ```
+//! use bench::json::Json;
+//!
+//! let doc = Json::obj()
+//!     .field("benchmark", "demo")
+//!     .field("iterations", Json::array([1.25f64, 2.5].map(|r| Json::float(r, 1))))
+//!     .field("best", Json::float(2.5, 1));
+//! assert_eq!(
+//!     doc.to_string(),
+//!     "{\n  \"benchmark\": \"demo\",\n  \"iterations\": [1.2, 2.5],\n  \"best\": 2.5\n}"
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value: strings, preformatted numbers, inline arrays and
+/// insertion-ordered objects.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number, already formatted (validated by the constructors).
+    Num(String),
+    /// A string (escaped at render time).
+    Str(String),
+    /// An array, rendered inline: `[1, 2, 3]`.
+    Arr(Vec<Json>),
+    /// An object, rendered multi-line in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object to chain [`field`](Json::field) calls on.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An integer value.
+    pub fn int(value: impl Into<u64>) -> Json {
+        Json::Num(value.into().to_string())
+    }
+
+    /// A float rendered with exactly `decimals` fraction digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity — a benchmark report carrying either
+    /// is a bug upstream, not something to serialize.
+    pub fn float(value: f64, decimals: usize) -> Json {
+        assert!(
+            value.is_finite(),
+            "non-finite value in a JSON report: {value}"
+        );
+        Json::Num(format!("{value:.decimals$}"))
+    }
+
+    /// An array of values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    /// Appends a field to an object (insertion order is render order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, name: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((name.to_string(), value.into())),
+            other => panic!("field() on a non-object: {other:?}"),
+        }
+        self
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+        match self {
+            Json::Num(n) => f.write_str(n),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    item.render(f, level)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{\n")?;
+                let pad = "  ".repeat(level + 1);
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    f.write_str(&pad)?;
+                    write_escaped(f, name)?;
+                    f.write_str(": ")?;
+                    value.render(f, level + 1)?;
+                    f.write_str(if i + 1 < fields.len() { ",\n" } else { "\n" })?;
+                }
+                write!(f, "{}}}", "  ".repeat(level))
+            }
+        }
+    }
+}
+
+/// Writes `s` as a quoted JSON string — shared by values and object
+/// keys, so neither can smuggle an unescaped quote into the output.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::int(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::int(n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_objects_with_two_space_indent() {
+        let doc = Json::obj()
+            .field("name", "serve")
+            .field("count", 3usize)
+            .field(
+                "inner",
+                Json::obj()
+                    .field("rate", Json::float(1.5, 4))
+                    .field("list", Json::array((1u64..=3).map(Json::int))),
+            );
+        assert_eq!(
+            doc.to_string(),
+            "{\n  \"name\": \"serve\",\n  \"count\": 3,\n  \"inner\": {\n    \
+             \"rate\": 1.5000,\n    \"list\": [1, 2, 3]\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn escapes_object_keys() {
+        let doc = Json::obj().field("a\"b", 1u64);
+        assert_eq!(doc.to_string(), "{\n  \"a\\\"b\": 1\n}");
+    }
+
+    #[test]
+    fn float_precision_is_explicit() {
+        assert_eq!(Json::float(1.0 / 3.0, 1).to_string(), "0.3");
+        assert_eq!(Json::float(1.0 / 3.0, 4).to_string(), "0.3333");
+        assert_eq!(Json::float(2.0, 0).to_string(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_are_rejected() {
+        let _ = Json::float(f64::NAN, 2);
+    }
+
+    #[test]
+    fn empty_object_renders_inline() {
+        assert_eq!(Json::obj().to_string(), "{}");
+    }
+}

@@ -17,7 +17,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod json;
 pub mod paper;
 pub mod table;
 
+pub use json::Json;
 pub use table::{num, TextTable};

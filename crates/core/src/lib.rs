@@ -50,7 +50,7 @@ pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
 pub use prefill::{prefill, PrefillError, PrefillReport};
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
 pub use serve::{
-    PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport,
+    PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport, SpanMode,
 };
 pub use sweep::{smallest_config_reaching, sweep_channels, sweep_chips, SweepPoint};
 pub use system::{GemvCache, OpClass, OpCost, PrefillCost, System, TokenReport, TrafficBreakdown};

@@ -80,6 +80,37 @@
 //! fleet of same-model requests costs one flash simulation per distinct
 //! shape, not per request.
 //!
+//! # Span fast-forwarding
+//!
+//! Even with per-op dispatch reduced to array lookups, firing one
+//! event-core round per op makes wall-clock scale linearly in
+//! `new_tokens` — painful exactly in the long-decode regime where
+//! continuous batching matters most. But between two **scheduling
+//! boundaries** (the next arrival, the next completion — the minimum
+//! remaining tokens in flight —, the next admission opportunity, a
+//! prefill window) the dynamics are fully deterministic: only the
+//! attention slots' cost varies, and predictably, with each request's
+//! sequence position. [`SpanMode::Coalesced`] (the default) therefore
+//! computes the number `k` of whole tokens until the earliest boundary
+//! and executes them as **one** bulk-priced span: the seq-invariant
+//! slots once per token from the [`PlanTable`], the attention templates
+//! over the growing prefix in the exact per-token order, cursors
+//! advanced `k` tokens in one shot ([`OpCursor::advance_by`]), traffic
+//! booked through the bulk
+//! [`TrafficBreakdown::absorb_batch_span`], and a single span-end
+//! event. The batched loop spans whole batch steps (one heap/hash/event
+//! round per span instead of per plan position), so the win compounds
+//! with batch size; the per-op loops span a lone in-flight request
+//! between arrivals.
+//!
+//! **Bit-exactness invariant:** every quantity the engine accumulates —
+//! timestamps, busy time, occupancy integrals, traffic, dispatch
+//! counters — is integer picoseconds/bytes/ops, and spans sum them in
+//! the identical per-token order, so regrouping is exact: coalesced
+//! reports equal [`SpanMode::PerOp`] reports field for field (pinned by
+//! the goldens and a span-equivalence proptest across policies, prefill
+//! modes and forced-tiny-span caps).
+//!
 //! # Prefill
 //!
 //! Every request walks the state machine **Queued → Prefilling →
@@ -143,6 +174,60 @@ pub enum PrefillMode {
     /// bandwidth) that occupies the flash channel and the NPU, delaying
     /// its own first token and contending with in-flight decodes.
     Modeled,
+}
+
+/// How aggressively the event loops coalesce decode work between
+/// scheduling boundaries into bulk-priced **spans**.
+///
+/// Between two scheduling boundaries — the next arrival, the next
+/// completion (minimum remaining tokens in flight), the next admission
+/// opportunity, a prefill window — the decode dynamics are fully
+/// deterministic: only the attention slots' cost varies, and
+/// predictably, with each request's sequence position. A span executes
+/// that whole run of tokens as one event-core round, pricing the
+/// seq-invariant slots once per token from the [`PlanTable`] and the
+/// attention templates over the growing prefix **in the exact
+/// per-token order**, so every timestamp, sample, counter and traffic
+/// total is bit-identical to per-op stepping (all quantities are
+/// integer picoseconds/bytes/ops, so regrouped sums are exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanMode {
+    /// One event-core round per op (per plan position in the batched
+    /// loop) — the original engines, kept as the executable reference
+    /// semantics the span path is pinned against.
+    PerOp,
+    /// Fast-forward up to `max_span` whole tokens per span between
+    /// scheduling boundaries. The default mode is unbounded
+    /// (`usize::MAX`: spans end only at real boundaries); tiny caps
+    /// force degenerate spans (`k = 1`) for boundary-case testing.
+    Coalesced {
+        /// Most tokens one span may coalesce (at least 1).
+        max_span: usize,
+    },
+}
+
+impl Default for SpanMode {
+    fn default() -> Self {
+        SpanMode::Coalesced {
+            max_span: usize::MAX,
+        }
+    }
+}
+
+impl SpanMode {
+    /// The span cap this mode imposes: 0 encodes per-op stepping.
+    fn cap(self) -> usize {
+        match self {
+            SpanMode::PerOp => 0,
+            SpanMode::Coalesced { max_span } => {
+                assert!(
+                    max_span >= 1,
+                    "a coalesced span must hold at least one token"
+                );
+                max_span
+            }
+        }
+    }
 }
 
 /// How a freed resource picks the next waiting request.
@@ -238,7 +323,11 @@ impl RequestReport {
 }
 
 /// Fleet-level results of a serving run.
-#[derive(Debug, Clone)]
+///
+/// Implements `PartialEq` so span-equivalence tests can compare whole
+/// reports bit for bit (every field is either an integer or an `f64`
+/// derived from integer picosecond arithmetic).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Scheduling policy that produced this report.
     pub policy: SchedulePolicy,
@@ -420,6 +509,7 @@ pub struct ServeEngine {
     /// when [`PrefillMode::Modeled`].
     prefill_plan: PrefillPlan,
     prefill: PrefillMode,
+    span: SpanMode,
 }
 
 impl ServeEngine {
@@ -435,6 +525,7 @@ impl ServeEngine {
             plan,
             prefill_plan,
             prefill: PrefillMode::Off,
+            span: SpanMode::default(),
         }
     }
 
@@ -447,6 +538,28 @@ impl ServeEngine {
     /// The active prefill mode.
     pub fn prefill_mode(&self) -> PrefillMode {
         self.prefill
+    }
+
+    /// Sets the span-coalescing mode for every subsequent run.
+    /// [`SpanMode::Coalesced`] (the default) is bit-identical to
+    /// [`SpanMode::PerOp`] and only changes wall-clock speed; the
+    /// per-op mode exists as the reference semantics and for pinning
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is `Coalesced { max_span: 0 }` — a span must
+    /// hold at least one token (the misconfiguration is reported here,
+    /// at the construction site, not at the first `run`).
+    pub fn with_span_mode(mut self, mode: SpanMode) -> Self {
+        mode.cap();
+        self.span = mode;
+        self
+    }
+
+    /// The active span-coalescing mode.
+    pub fn span_mode(&self) -> SpanMode {
+        self.span
     }
 
     /// The model this engine serves.
@@ -496,6 +609,19 @@ struct PlanTable {
     inv_lat: Vec<SimTime>,
     n_inv: usize,
     n_dep: usize,
+    /// Ops per token mapping to each invariant slot.
+    inv_counts: Vec<u64>,
+    /// Whether each invariant slot is a weight GeMV (flash class).
+    inv_is_weight: Vec<bool>,
+    /// Ops per token mapping to each seq-dependent slot.
+    dep_counts: [u64; MAX_DEP_SLOTS],
+    /// Serial per-token latency of the weight (flash) positions —
+    /// `Σ inv_lat × count` over weight slots. One term of a solo span's
+    /// token latency; filled by [`price_invariant`].
+    solo_flash_lat: SimTime,
+    /// Serial per-token latency of the invariant NPU positions (the
+    /// attention slots are priced per sequence position on top).
+    solo_npu_lat: SimTime,
     /// Traffic of one token's seq-invariant ops.
     inv_traffic: TrafficBreakdown,
     /// The shared-stream share of `inv_traffic`: NAND reads, in-flash
@@ -536,6 +662,10 @@ impl PlanTable {
             n_dep <= MAX_DEP_SLOTS,
             "plan has {n_dep} seq-dependent slots; raise MAX_DEP_SLOTS"
         );
+        let mut dep_counts = [0u64; MAX_DEP_SLOTS];
+        for (d, count) in dep_counts.iter_mut().enumerate().take(n_dep) {
+            *count = plan.slot_count(n_inv + d) as u64;
+        }
         PlanTable {
             classes,
             slots: (0..plan.len())
@@ -544,6 +674,11 @@ impl PlanTable {
             inv_lat: vec![SimTime::ZERO; n_inv],
             n_inv,
             n_dep,
+            inv_counts: (0..n_inv).map(|s| plan.slot_count(s) as u64).collect(),
+            inv_is_weight: (0..n_inv).map(|s| plan.slot_is_weight(s)).collect(),
+            dep_counts,
+            solo_flash_lat: SimTime::ZERO,
+            solo_npu_lat: SimTime::ZERO,
             inv_traffic: TrafficBreakdown::default(),
             inv_stream_traffic: TrafficBreakdown::default(),
             inv_request_traffic: TrafficBreakdown::default(),
@@ -569,6 +704,7 @@ fn price_invariant(system: &mut System, plan: &TokenPlan, table: &mut PlanTable)
         let count = plan.slot_count(s) as u64;
         table.inv_traffic.absorb_scaled(&cost.traffic, count);
         if plan.slot_is_weight(s) {
+            table.solo_flash_lat += cost.latency * count;
             // A weight slot's *weight bytes* (NAND stream, in-flash and
             // D2D consumption) are shared by a batch; everything else —
             // each member multiplying the streamed weights by its own
@@ -590,6 +726,7 @@ fn price_invariant(system: &mut System, plan: &TokenPlan, table: &mut PlanTable)
             table.inv_stream_traffic.absorb_scaled(&stream, count);
             table.inv_request_traffic.absorb_scaled(&per_member, count);
         } else {
+            table.solo_npu_lat += cost.latency * count;
             table
                 .inv_request_traffic
                 .absorb_scaled(&cost.traffic, count);
@@ -690,6 +827,24 @@ impl EventCore {
         self.op_done[class_slot].is_some()
     }
 
+    /// Earliest pending arrival's timestamp (picoseconds), if any —
+    /// the next externally imposed scheduling boundary a coalesced
+    /// span must respect.
+    #[inline]
+    fn next_arrival_ps(&self) -> Option<u64> {
+        self.arrivals.peek().map(|&Reverse((at, _, _))| at)
+    }
+
+    /// Advances the schedule stamp by `n` without scheduling anything.
+    /// Span fast-forwarding accounts for the per-op events it elides so
+    /// stamp-based FIFO tie-breaking (and the round-robin recency keys
+    /// derived from the sibling dispatch stamp) stay identical to
+    /// per-op stepping.
+    #[inline]
+    fn bump_stamp(&mut self, n: u64) {
+        self.stamp += n;
+    }
+
     /// Pops an arrival scheduled for exactly `now`, if any — used by
     /// the batched scheduler to fold simultaneous arrivals (bursts,
     /// closed-loop respawns) into the token boundary being processed
@@ -761,6 +916,8 @@ struct Simulation<'a> {
     /// it are rejected, not simulated.
     kv_max_context: usize,
     kv_rejections: u64,
+    /// Most tokens one span may coalesce (0 = per-op stepping).
+    span_cap: usize,
 }
 
 /// Shared prefill-pricing state of one simulation run.
@@ -811,6 +968,11 @@ const PREFILL_HOLD: usize = u32::MAX as usize - 1;
 /// delayed batch step starts.
 const BATCH_PREFILL: usize = u32::MAX as usize - 2;
 
+/// Event-core sentinel for a coalesced span's end in the batched loop:
+/// the token boundary closing a bulk-priced run of batch steps, handled
+/// by the ordinary [`BatchedSimulation::token_boundary`].
+const SPAN_BOUNDARY: usize = u32::MAX as usize - 3;
+
 /// Prices (or recalls) the prefill stage of an `m`-token prompt.
 ///
 /// Derived once per `(model, quant, prompt_len)` bucket — the engine
@@ -845,7 +1007,7 @@ fn push_request(
 ) -> usize {
     let id = requests.len();
     debug_assert!(
-        id < BATCH_PREFILL,
+        id < SPAN_BOUNDARY,
         "request ids collide with event sentinels"
     );
     requests.push(RequestState {
@@ -962,6 +1124,149 @@ fn begin_token(
     }
 }
 
+/// Retires one token for `r` at boundary time `tb`: the count, the
+/// latency sample (clocked from `token_started`, which may predate the
+/// token for a request's first — queue wait and prefill are in the
+/// first token's latency under every policy), the clock reset and the
+/// first-token stamp. The **single** definition of per-token retire
+/// bookkeeping, shared by both per-token handlers and both span paths —
+/// span/per-op bit-exactness requires these four sites to agree, so
+/// the agreement is structural rather than copy-discipline.
+#[inline]
+fn retire_token(r: &mut RequestState, tb: SimTime, token_latencies: &mut Samples) {
+    r.tokens_done += 1;
+    token_latencies.push(tb.saturating_sub(r.token_started).as_secs_f64());
+    r.token_started = tb;
+    if r.first_token.is_none() {
+        r.first_token = Some(tb);
+    }
+}
+
+/// Span fast-forwarding for the per-op loops: coalesces a run of whole
+/// tokens for the **lone** in-flight request `id`, which must be parked
+/// at a token boundary (cursor at op 0, its current token already
+/// priced and booked by [`begin_token`]). With nothing else in flight
+/// the request's ops run strictly serially, so a token's latency is the
+/// sum of the plan's slot latencies — the seq-invariant positions from
+/// the [`PlanTable`], the attention positions at the token's own
+/// sequence position — and a run of `k` tokens is priced in the exact
+/// per-token order without touching the event machinery.
+///
+/// The span ends at the earliest scheduling boundary: the request's
+/// completion, a forced span cap, or the **last token boundary at or
+/// before the next arrival** — a token an arrival would land inside
+/// must run per-op, because the newcomer starts interleaving on the
+/// free resource mid-token. Returns the number of tokens coalesced;
+/// 0 means the very next token would cross an arrival and the caller
+/// must fall back to per-op dispatch for it.
+///
+/// The final token's last op becomes the span-end event, so the
+/// ordinary completion handler retires it (sample, completion report,
+/// respawn) exactly as in per-op stepping. Elided per-op dispatches are
+/// accounted into both schedule stamps so round-robin recency keys and
+/// FIFO tie-breaks stay identical.
+#[allow(clippy::too_many_arguments)]
+fn run_solo_span(
+    system: &mut System,
+    plan: &TokenPlan,
+    table: &PlanTable,
+    ev: &mut EventCore,
+    busy_track: &mut [BusyTracker; 2],
+    traffic: &mut TrafficBreakdown,
+    token_latencies: &mut Samples,
+    stamp: &mut u64,
+    r: &mut RequestState,
+    id: usize,
+    span_cap: usize,
+    now: SimTime,
+) -> usize {
+    debug_assert!(table.priced, "a begun token implies a priced table");
+    debug_assert_eq!(r.cursor.index(), 0, "span starts at a token boundary");
+    let n_ops = plan.len();
+    let next_arrival = ev.next_arrival_ps();
+    let remaining = r.shape.new_tokens - r.tokens_done;
+    let mut lats: Vec<SimTime> = Vec::with_capacity(remaining.min(span_cap).min(4096));
+    let mut t = now;
+    let mut k = 0usize;
+    // Attention latencies of the token under consideration. The first
+    // token's were already priced (and its traffic booked) by
+    // `begin_token`; later tokens are priced speculatively below and
+    // booked only on acceptance — a rejected token is re-priced by its
+    // own `begin_token` later, hitting the memo.
+    let mut dep = r.dep_lat;
+    let mut unbooked: Option<[TrafficBreakdown; MAX_DEP_SLOTS]> = None;
+    loop {
+        let mut lat = table.solo_flash_lat + table.solo_npu_lat;
+        for (d, &dep_lat) in dep.iter().enumerate().take(table.n_dep) {
+            lat += dep_lat * table.dep_counts[d];
+        }
+        let end = t + lat;
+        if next_arrival.is_some_and(|ta| end.as_picos() > ta) {
+            // The token would overlap the arrival: leave it per-op.
+            break;
+        }
+        if let Some(tr) = unbooked.take() {
+            // Book the accepted token exactly as `begin_token` would
+            // have at its start.
+            traffic.absorb(&table.inv_traffic);
+            for (d, item) in tr.iter().enumerate().take(table.n_dep) {
+                traffic.absorb_scaled(item, table.dep_counts[d]);
+            }
+        }
+        k += 1;
+        t = end;
+        lats.push(lat);
+        if k == remaining || k >= span_cap {
+            break;
+        }
+        if next_arrival == Some(t.as_picos()) {
+            // An arrival lands exactly on this boundary; it must see
+            // the engine at the boundary, so the span stops here.
+            break;
+        }
+        // Price the next token's attention slots (speculative).
+        let seq = r.cursor.seq_len() + k;
+        let mut tr = [TrafficBreakdown::default(); MAX_DEP_SLOTS];
+        for d in 0..table.n_dep {
+            let cost = system.op_cost(&plan.slot_op(table.n_inv + d, seq));
+            dep[d] = cost.latency;
+            tr[d] = cost.traffic;
+        }
+        unbooked = Some(tr);
+    }
+    if k == 0 {
+        return 0;
+    }
+    // Per-op bookkeeping the span elides: one dispatch (and one event
+    // stamp) per op of every coalesced token.
+    let elided = (k * n_ops) as u64;
+    *stamp += elided;
+    r.last_scheduled = *stamp;
+    if r.started.is_none() {
+        r.started = Some(now);
+    }
+    // Interior boundaries: every token but the last retires inline.
+    let mut tb = now;
+    for &lat in &lats[..k - 1] {
+        tb += lat;
+        retire_token(r, tb, token_latencies);
+    }
+    // Advance the cursor past the retired tokens in one shot, then
+    // park it one op short of the final token's end so the ordinary
+    // completion handler's advance lands on the token boundary.
+    r.cursor.advance_by(k - 1);
+    r.cursor.seek(n_ops - 1);
+    // One busy interval per resource for the whole span: the per-class
+    // totals are identical to per-op interval accounting (integer
+    // sums), and each interval ends before the span does.
+    let flash_busy = table.solo_flash_lat * k as u64;
+    busy_track[0].add_interval(now, now + flash_busy);
+    busy_track[1].add_interval(now, now + ((t - now) - flash_busy));
+    ev.schedule_op(slot(table.classes[n_ops - 1]), t, id);
+    ev.bump_stamp(elided - 1);
+    k
+}
+
 impl<'a> Simulation<'a> {
     fn new(engine: &'a ServeEngine, trace: &ArrivalTrace, policy: SchedulePolicy) -> Self {
         let mut sim = Simulation {
@@ -984,6 +1289,7 @@ impl<'a> Simulation<'a> {
             first_arrival: None,
             kv_max_context: kv_cache(engine).max_tokens(),
             kv_rejections: 0,
+            span_cap: engine.span.cap(),
         };
         let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
         sim.client_remaining = remaining;
@@ -1018,6 +1324,7 @@ impl<'a> Simulation<'a> {
                 first_arrival,
                 kv_max_context,
                 kv_rejections,
+                span_cap,
                 ..
             } = &mut self;
             let plan: &TokenPlan = plan;
@@ -1116,12 +1423,7 @@ impl<'a> Simulation<'a> {
                             ready.enqueue(slot(table.classes[idx]), ready_key(policy, r), id);
                         } else {
                             // Token complete.
-                            r.tokens_done += 1;
-                            token_latencies.push(now.saturating_sub(r.token_started).as_secs_f64());
-                            r.token_started = now;
-                            if r.first_token.is_none() {
-                                r.first_token = Some(now);
-                            }
+                            retire_token(r, now, token_latencies);
                             if r.tokens_done < r.shape.new_tokens {
                                 // Next token: context has grown by the
                                 // token just emitted.
@@ -1163,6 +1465,46 @@ impl<'a> Simulation<'a> {
                             }
                         }
                     }
+                }
+
+                // Span fast-forwarding: with exactly one request in
+                // flight, parked at a token boundary, and both
+                // resources idle, whole tokens coalesce into one
+                // bulk-priced span (every other live request would be
+                // in a ready heap or holding a pending completion, so
+                // this condition is exact).
+                if *span_cap > 0 && !ev.busy(0) && !ev.busy(1) && ready.len() == 1 {
+                    let s_heap = usize::from(ready.ready[0].is_empty());
+                    let id = ready.pop_min(s_heap).expect("ready holds one request");
+                    let spanned = {
+                        let r = &mut requests[id];
+                        if r.phase == Phase::Decoding && r.cursor.index() == 0 {
+                            run_solo_span(
+                                system,
+                                plan,
+                                table,
+                                ev,
+                                busy_track,
+                                traffic,
+                                token_latencies,
+                                stamp,
+                                r,
+                                id,
+                                *span_cap,
+                                now,
+                            )
+                        } else {
+                            0
+                        }
+                    };
+                    if spanned > 0 {
+                        continue;
+                    }
+                    // No coalescible token (an arrival is imminent, or
+                    // the request owes a prefill): back in the ready
+                    // heap for ordinary per-op dispatch below.
+                    let r = &requests[id];
+                    ready.enqueue(s_heap, ready_key(policy, r), id);
                 }
 
                 // Dispatch: start an op on every idle resource that has
@@ -1504,6 +1846,9 @@ struct BatchedSimulation<'a> {
     /// one per request for NPU positions.
     ops_dispatched: u64,
     gemv_dispatched: u64,
+    /// Most batch steps one span may coalesce (0 = per-position
+    /// stepping).
+    span_cap: usize,
 }
 
 impl<'a> BatchedSimulation<'a> {
@@ -1534,6 +1879,7 @@ impl<'a> BatchedSimulation<'a> {
             kv_rejections: 0,
             ops_dispatched: 0,
             gemv_dispatched: 0,
+            span_cap: engine.span.cap(),
         };
         let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
         sim.client_remaining = remaining;
@@ -1573,7 +1919,12 @@ impl<'a> BatchedSimulation<'a> {
                             self.requests[id].phase = Phase::Decoding;
                         }
                     }
-                    self.start_step(now);
+                    self.start(now);
+                }
+                Fired::Op(_, id) if id == SPAN_BOUNDARY => {
+                    // A coalesced span closed: its final step's token
+                    // boundary retires exactly like a per-step one.
+                    self.token_boundary(now);
                 }
                 Fired::Op(..) => {
                     self.batch.pos += 1;
@@ -1596,13 +1947,7 @@ impl<'a> BatchedSimulation<'a> {
         let mut survivors = Vec::with_capacity(active.len());
         for id in active {
             let r = &mut self.requests[id];
-            r.tokens_done += 1;
-            self.token_latencies
-                .push(now.saturating_sub(r.token_started).as_secs_f64());
-            r.token_started = now;
-            if r.first_token.is_none() {
-                r.first_token = Some(now);
-            }
+            retire_token(r, now, &mut self.token_latencies);
             if r.tokens_done < r.shape.new_tokens {
                 r.cursor.next_token();
                 survivors.push(id);
@@ -1655,6 +2000,16 @@ impl<'a> BatchedSimulation<'a> {
             self.busy_track[1].add_interval(now, now + prefill_delay);
             self.ev
                 .schedule_op(slot(OpClass::Flash), now + prefill_delay, BATCH_PREFILL);
+        } else {
+            self.start(now);
+        }
+    }
+
+    /// Starts the device on the current batch: a coalesced span when
+    /// fast-forwarding is on, the per-position stepping loop otherwise.
+    fn start(&mut self, now: SimTime) {
+        if self.span_cap > 0 {
+            self.start_span(now);
         } else {
             self.start_step(now);
         }
@@ -1772,6 +2127,180 @@ impl<'a> BatchedSimulation<'a> {
         }
         self.batch.pos = 0;
         self.dispatch(now);
+    }
+
+    /// Prices and launches a **span**: a run of up to `span_cap` batch
+    /// steps executed as one event-core round instead of one round per
+    /// plan position. Between scheduling boundaries the batch is fixed,
+    /// so each step's latency decomposes into
+    ///
+    /// * a flash term — every weight slot at the table price floored by
+    ///   both compute rooflines on `batch ×` the per-request MAC shares
+    ///   (identical to [`BatchedSimulation::dispatch`]'s per-position
+    ///   arithmetic, hoisted out of the loop because the batch cannot
+    ///   change mid-span);
+    /// * an NPU term — invariant slots at `table price × batch` plus
+    ///   the attention slots summed over each member's own growing
+    ///   sequence position, priced step by step in the exact per-token
+    ///   order so the op-cost cache sees the same lookup sequence.
+    ///
+    /// The span ends at the earliest scheduling boundary: the next
+    /// completion (minimum remaining tokens in flight), the first token
+    /// boundary at or after the next arrival (an admission
+    /// opportunity — the arrival itself fires mid-span and queues, like
+    /// it would mid-step), or a forced span cap. Admission blocked on
+    /// KV capacity or a full batch can only unblock at a completion, so
+    /// no opportunity is skipped. Interior token boundaries retire
+    /// inline; the final one is the scheduled span-end event, handled
+    /// by the ordinary [`BatchedSimulation::token_boundary`].
+    ///
+    /// Every quantity is integer picoseconds/bytes/ops, so the
+    /// regrouped sums are bit-identical to per-position stepping.
+    fn start_span(&mut self, now: SimTime) {
+        if self.batch.active.is_empty() {
+            return;
+        }
+        debug_assert!(!self.stepping(), "span overlaps a step");
+        price_invariant(&mut self.system, self.plan, &mut self.table);
+        let batch = self.batch.active.len() as u64;
+        let n_ops = self.table.classes.len();
+        // Per-step invariant latencies at this batch size.
+        let mut flash_step = SimTime::ZERO;
+        let mut npu_inv_step = SimTime::ZERO;
+        for s in 0..self.table.n_inv {
+            let count = self.table.inv_counts[s];
+            if self.table.inv_is_weight[s] {
+                let lat = self.table.inv_lat[s]
+                    .max(
+                        self.system
+                            .npu_compute_time(self.table.inv_npu_ops[s] * batch),
+                    )
+                    .max(
+                        self.system
+                            .flash_compute_time(self.table.inv_flash_ops[s] * batch),
+                    );
+                flash_step += lat * count;
+            } else {
+                npu_inv_step += (self.table.inv_lat[s] * batch) * count;
+            }
+        }
+        let k_max = self
+            .batch
+            .active
+            .iter()
+            .map(|&id| self.requests[id].shape.new_tokens - self.requests[id].tokens_done)
+            .min()
+            .expect("batch is non-empty")
+            .min(self.span_cap);
+        // A request already waiting for admission (it arrived during a
+        // prefill window or mid-step) may act at the *very next* token
+        // boundary, so the span may not run past it — but only when the
+        // boundary would actually change state: with batch room, an
+        // admissible head joins there and a never-fits head is rejected
+        // (and its closed-loop client respawned) there. A head blocked
+        // on KV capacity can only unblock at a completion — KV releases
+        // happen in the boundary's completion branch, which is always a
+        // span end — and a full batch admits nothing, so neither bounds
+        // the span.
+        let k_max = match self.pending.front() {
+            Some(&head) if self.batch.active.len() < self.batch.max_batch => {
+                let shape = self.requests[head].shape;
+                let context = shape.prompt_len + shape.new_tokens;
+                if context > self.kv_max_context || self.kv.fits(context) {
+                    1
+                } else {
+                    k_max
+                }
+            }
+            _ => k_max,
+        };
+        debug_assert!(k_max >= 1, "an active member always owes a token");
+        let next_arrival = self.ev.next_arrival_ps();
+        let mut lats: Vec<SimTime> = Vec::with_capacity(k_max.min(4096));
+        let mut t = now;
+        let mut npu_busy = SimTime::ZERO;
+        let mut k = 0usize;
+        loop {
+            // This step's attention slots, at each member's position
+            // `k` tokens ahead of its cursor (cursors advance at the
+            // boundary pass below). Consecutive members at the same
+            // sequence position — the common case, lockstep admission
+            // parks whole cohorts together — share one pricing and
+            // scale by the run length; the scaled integer sums equal
+            // per-member accumulation exactly.
+            let mut dep_step = SimTime::ZERO;
+            let mut i = 0;
+            while i < self.batch.active.len() {
+                let seq = self.requests[self.batch.active[i]].cursor.seq_len() + k;
+                let mut run = 1usize;
+                while i + run < self.batch.active.len()
+                    && self.requests[self.batch.active[i + run]].cursor.seq_len() + k == seq
+                {
+                    run += 1;
+                }
+                for d in 0..self.table.n_dep {
+                    let op_slot = self.table.n_inv + d;
+                    let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
+                    dep_step += (cost.latency * self.table.dep_counts[d]) * run as u64;
+                    self.traffic
+                        .absorb_scaled(&cost.traffic, self.table.dep_counts[d] * run as u64);
+                }
+                i += run;
+            }
+            let lat = flash_step + npu_inv_step + dep_step;
+            npu_busy += npu_inv_step + dep_step;
+            t += lat;
+            lats.push(lat);
+            k += 1;
+            if k == k_max {
+                // The earliest completion (or the forced cap): a real
+                // scheduling boundary, handled by the span-end event.
+                break;
+            }
+            if next_arrival.is_some_and(|ta| t.as_picos() >= ta) {
+                // First boundary at or after the next arrival: stop so
+                // the admission pass sees it (the arrival itself fires
+                // mid-span and queues, exactly as it would mid-step).
+                break;
+            }
+        }
+        // The span's invariant traffic in one bulk booking: `k ×` the
+        // shared stream plus `k × batch ×` the per-request share.
+        self.traffic.absorb_batch_span(
+            &self.table.inv_stream_traffic,
+            &self.table.inv_request_traffic,
+            batch,
+            k as u64,
+        );
+        let weights = self.table.gemvs_per_token;
+        self.gemv_dispatched += k as u64 * weights;
+        self.ops_dispatched += k as u64 * (weights + (n_ops as u64 - weights) * batch);
+        // One busy interval per resource for the whole span; per-class
+        // totals are identical to per-position interval accounting.
+        self.busy_track[0].add_interval(now, now + flash_step * k as u64);
+        self.busy_track[1].add_interval(now, now + npu_busy);
+        // Interior token boundaries (all steps but the last) retire
+        // inline: samples and first tokens in the same member order as
+        // `token_boundary`. No member completes here — `k` never
+        // exceeds the minimum remaining tokens.
+        let mut tb = now;
+        for &lat in &lats[..k - 1] {
+            tb += lat;
+            for i in 0..self.batch.active.len() {
+                let id = self.batch.active[i];
+                retire_token(&mut self.requests[id], tb, &mut self.token_latencies);
+            }
+        }
+        // Every member's cursor jumps the retired tokens in one shot.
+        for i in 0..self.batch.active.len() {
+            let id = self.batch.active[i];
+            self.requests[id].cursor.advance_by(k - 1);
+        }
+        // The final step's boundary is the span-end event. Elided
+        // per-position events are accounted into the schedule stamp so
+        // FIFO tie-breaking stays identical to per-step mode.
+        self.ev.schedule_op(slot(OpClass::Flash), t, SPAN_BOUNDARY);
+        self.ev.bump_stamp((k * n_ops - 1) as u64);
     }
 
     /// Launches the batched op at the current plan position: one shared

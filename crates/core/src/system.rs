@@ -127,6 +127,27 @@ impl TrafficBreakdown {
         self.absorb_scaled(per_request, batch);
     }
 
+    /// Accumulates a **span** of `steps` batched steps at once:
+    /// `shared × steps` plus `per_request × batch × steps`.
+    ///
+    /// This is the bulk form of
+    /// [`absorb_batch_step`](TrafficBreakdown::absorb_batch_step) for
+    /// span fast-forwarding: a run of decode steps between two
+    /// scheduling boundaries has a fixed batch, so its invariant
+    /// traffic is one multiplication instead of one call per step.
+    /// Because every field is an exact integer, the result is
+    /// bit-identical to `steps` repeated `absorb_batch_step` calls.
+    pub fn absorb_batch_span(
+        &mut self,
+        shared: &TrafficBreakdown,
+        per_request: &TrafficBreakdown,
+        batch: u64,
+        steps: u64,
+    ) {
+        self.absorb_scaled(shared, steps);
+        self.absorb_scaled(per_request, batch * steps);
+    }
+
     /// Accumulates `n` occurrences of another breakdown at once (an op
     /// repeated `n` times per token contributes `n ×` its traffic).
     pub fn absorb_scaled(&mut self, other: &TrafficBreakdown, n: u64) {
@@ -885,6 +906,37 @@ mod tests {
         serial.absorb(&shared);
         serial.absorb(&per_request);
         assert_eq!(one, serial);
+    }
+
+    #[test]
+    fn batch_span_equals_repeated_batch_steps() {
+        let shared = TrafficBreakdown {
+            nand_array_bytes: 999,
+            in_flash_bytes: 501,
+            d2d_bytes: 333,
+            dram_bytes: 1,
+            npu_ops: 47,
+            flash_ops: 83,
+        };
+        let per_request = TrafficBreakdown {
+            dram_bytes: 13,
+            npu_ops: 29,
+            d2d_bytes: 7,
+            ..TrafficBreakdown::default()
+        };
+        for (batch, steps) in [(1u64, 1u64), (4, 1), (1, 9), (7, 512)] {
+            let mut bulk = TrafficBreakdown::default();
+            bulk.absorb_batch_span(&shared, &per_request, batch, steps);
+            let mut stepped = TrafficBreakdown::default();
+            for _ in 0..steps {
+                stepped.absorb_batch_step(&shared, &per_request, batch);
+            }
+            assert_eq!(bulk, stepped, "batch {batch} steps {steps}");
+        }
+        // Zero steps is a no-op.
+        let mut none = TrafficBreakdown::default();
+        none.absorb_batch_span(&shared, &per_request, 5, 0);
+        assert_eq!(none, TrafficBreakdown::default());
     }
 
     #[test]

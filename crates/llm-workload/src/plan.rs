@@ -577,6 +577,25 @@ impl OpCursor {
         self.idx = 0;
     }
 
+    /// Advances `tokens` whole tokens in one shot: the KV cache grows
+    /// by `tokens` entries and the cursor rewinds to the first op of
+    /// the new token. `advance_by(1)` is exactly
+    /// [`next_token`](OpCursor::next_token); `advance_by(0)` only
+    /// rewinds to the token start. This is the cursor side of span
+    /// fast-forwarding: a scheduler that bulk-prices a run of tokens
+    /// moves every in-flight cursor here instead of stepping each op.
+    pub fn advance_by(&mut self, tokens: usize) {
+        self.seq_len += tokens;
+        self.idx = 0;
+    }
+
+    /// Parks the cursor at op `idx` of the current token (without
+    /// touching the sequence position). Indices at or past the plan
+    /// length mean "exhausted", same as after walking every op.
+    pub fn seek(&mut self, idx: usize) {
+        self.idx = idx;
+    }
+
     /// Resets to the first op of a token at `seq_len`.
     pub fn reset(&mut self, seq_len: usize) {
         self.seq_len = seq_len;
@@ -721,6 +740,42 @@ mod tests {
             cursor.peek(&plan),
             Some(decode_step(&model, Quant::W8A8, 101).ops[0])
         );
+    }
+
+    #[test]
+    fn advance_by_is_repeated_next_token() {
+        let plan = TokenPlan::new(&zoo::opt_6_7b(), Quant::W8A8);
+        let mut stepped = OpCursor::new(42);
+        let mut jumped = OpCursor::new(42);
+        for _ in 0..7 {
+            stepped.next_token();
+        }
+        jumped.advance_by(7);
+        assert_eq!(stepped, jumped);
+        assert_eq!(jumped.seq_len(), 49);
+        assert_eq!(jumped.peek(&plan), stepped.peek(&plan));
+        // advance_by(0) only rewinds the op index.
+        let mut mid = OpCursor::new(10);
+        mid.advance();
+        mid.advance();
+        mid.advance_by(0);
+        assert_eq!(mid, OpCursor::new(10));
+    }
+
+    #[test]
+    fn seek_parks_the_cursor_mid_token() {
+        let plan = TokenPlan::new(&zoo::opt_6_7b(), Quant::W8A8);
+        let mut walked = OpCursor::new(100);
+        for _ in 0..5 {
+            walked.next_op(&plan);
+        }
+        let mut sought = OpCursor::new(100);
+        sought.seek(5);
+        assert_eq!(walked, sought);
+        // Seeking to the plan length is "exhausted", like a full walk.
+        sought.seek(plan.len());
+        assert!(sought.exhausted(&plan));
+        assert_eq!(sought.peek(&plan), None);
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl Counter {
 
 /// Running mean/min/max aggregate over `f64` samples, used for
 /// summarising per-channel utilizations and per-request latencies.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Aggregate {
     count: u64,
     sum: f64,
@@ -283,17 +283,21 @@ impl Samples {
     /// The `p`-th percentile (`0.0..=100.0`) by nearest-rank, or `None`
     /// if empty.
     ///
+    /// Samples are ordered by [`f64::total_cmp`] (IEEE 754 total
+    /// order), so a stray NaN sample cannot panic a report: positive
+    /// NaNs sort above `+inf`, negative NaNs below `-inf`, and every
+    /// ordinary value keeps its usual rank.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+    /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.values.is_empty() {
             return None;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         // Nearest-rank: ceil(p/100 * n), clamped to [1, n].
@@ -413,6 +417,21 @@ mod tests {
         let agg = s.aggregate();
         assert_eq!(agg.min(), Some(1.0));
         assert_eq!(agg.max(), Some(100.0));
+    }
+
+    #[test]
+    fn nan_samples_sort_by_total_order_instead_of_panicking() {
+        // Regression pin: the old `partial_cmp().expect("NaN sample")`
+        // comparator panicked the whole report on one bad sample.
+        // total_cmp places positive NaN above +inf and negative NaN
+        // below -inf, leaving ordinary ranks untouched.
+        let mut s: Samples = [2.0, f64::NAN, 1.0, 3.0].into_iter().collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(2.0));
+        assert!(s.percentile(100.0).unwrap().is_nan());
+        let mut neg: Samples = [1.0, -f64::NAN, 2.0].into_iter().collect();
+        assert!(neg.percentile(0.0).unwrap().is_nan());
+        assert_eq!(neg.percentile(100.0), Some(2.0));
     }
 
     #[test]

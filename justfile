@@ -13,7 +13,9 @@ bench:
     cargo bench -p bench
 
 # Serving hot-path benchmark: measures simulated-tokens-per-wall-second
-# on the 70B serving scenario and records the perf trajectory in
+# on the 70B serving scenario — round-robin, batched, prefill-enabled,
+# and the long-decode coalesced variant (span fast-forwarding vs the
+# per-op reference loop) — and records the perf trajectory in
 # BENCH_serving.json (compare against the committed numbers before and
 # after touching the serve/system hot path).
 perf:

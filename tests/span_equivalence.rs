@@ -1,0 +1,198 @@
+//! Span fast-forwarding ≡ per-token stepping, bit for bit.
+//!
+//! The coalesced span path ([`SpanMode::Coalesced`], the default) is a
+//! pure wall-clock optimization: every simulated quantity — virtual
+//! timestamps, per-token latency samples, busy time, traffic bytes,
+//! cache accounting — is integer arithmetic regrouped, so whole
+//! [`ServeReport`]s must compare equal to the per-op reference
+//! ([`SpanMode::PerOp`]) under every policy, both prefill modes, and
+//! arbitrary traces. Forced-tiny spans (`max_span` 1 and 2) exercise
+//! the boundary edge cases: single-token spans, spans cut short by
+//! arrivals (the `k = 0` per-op fallback), and closed-loop respawns
+//! that make an arrival and a completion simultaneous.
+
+use cambricon_llm_repro::prelude::*;
+use llm_workload::RequestArrival;
+use proptest::prelude::*;
+use sim_core::SimTime;
+
+fn arb_model() -> impl proptest::Strategy<Value = llm_workload::ModelSpec> {
+    prop_oneof![
+        Just(zoo::opt_6_7b()),
+        Just(zoo::opt_13b()),
+        Just(zoo::llama2_7b()),
+    ]
+}
+
+/// The span caps under test: unbounded (the default), plus tiny forced
+/// spans that stress the boundary logic.
+const SPAN_MODES: [SpanMode; 3] = [
+    SpanMode::Coalesced {
+        max_span: usize::MAX,
+    },
+    SpanMode::Coalesced { max_span: 1 },
+    SpanMode::Coalesced { max_span: 2 },
+];
+
+fn engines(
+    model: &llm_workload::ModelSpec,
+    prefill: PrefillMode,
+    mode: SpanMode,
+) -> (ServeEngine, ServeEngine) {
+    let cfg = SystemConfig::cambricon_s();
+    let reference = ServeEngine::new(cfg, model.clone())
+        .with_prefill(prefill)
+        .with_span_mode(SpanMode::PerOp);
+    let coalesced = ServeEngine::new(cfg, model.clone())
+        .with_prefill(prefill)
+        .with_span_mode(mode);
+    (reference, coalesced)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant: for arbitrary traces, every policy and
+    /// both prefill modes, the coalesced report equals the per-op
+    /// report field for field (`ServeReport: PartialEq` covers every
+    /// field, per-request timestamps included).
+    #[test]
+    fn coalesced_reports_equal_per_op_reports(
+        model in arb_model(),
+        trace_ix in 0usize..3,
+        clients in 1usize..4,
+        per_client in 1usize..3,
+        prompt in 0usize..1200,
+        tokens in 1usize..6,
+        rate_tenths in 1u64..80,
+        seed in 0u64..1000,
+        max_batch in 1usize..4,
+        span_ix in 0usize..3,
+    ) {
+        let shape = RequestShape::new(prompt, tokens);
+        let trace = match trace_ix {
+            // Closed loop: respawns make arrivals and completions
+            // simultaneous at token boundaries.
+            0 => ArrivalTrace::closed_loop(clients, per_client, shape),
+            // Burst: simultaneous arrivals contend immediately.
+            1 => ArrivalTrace::burst(clients * per_client, shape),
+            // Poisson: arrivals land at arbitrary mid-token instants.
+            _ => ArrivalTrace::poisson(
+                rate_tenths as f64 / 10.0,
+                clients * per_client,
+                shape,
+                seed,
+            ),
+        };
+        let mode = SPAN_MODES[span_ix];
+        for policy in [
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::ContinuousBatch { max_batch },
+        ] {
+            for prefill in [PrefillMode::Off, PrefillMode::Modeled] {
+                let (reference, coalesced) = engines(&model, prefill, mode);
+                let a = reference.run(&trace, policy);
+                let b = coalesced.run(&trace, policy);
+                prop_assert_eq!(
+                    a,
+                    b,
+                    "span mode {:?} diverged from per-op under {:?}/{:?}",
+                    mode,
+                    policy,
+                    prefill
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arrival_exactly_on_a_token_boundary_is_bit_exact() {
+    // The sharpest span edge: an arrival landing exactly on a token
+    // boundary (not just near it). Probe a per-op run for a true
+    // boundary timestamp, then replay a trace with an arrival pinned
+    // to that instant under every policy and span mode.
+    let shape = RequestShape::new(300, 4);
+    let probe = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+        .with_span_mode(SpanMode::PerOp)
+        .run(&ArrivalTrace::burst(1, shape), SchedulePolicy::Fcfs);
+    let boundary = probe.requests[0].first_token_at;
+    assert!(boundary > SimTime::ZERO);
+    let trace = ArrivalTrace::Open(vec![
+        RequestArrival {
+            at: SimTime::ZERO,
+            shape,
+        },
+        RequestArrival {
+            at: boundary,
+            shape: RequestShape::new(200, 2),
+        },
+    ]);
+    for policy in [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::ContinuousBatch { max_batch: 2 },
+    ] {
+        let reference = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(SpanMode::PerOp)
+            .run(&trace, policy);
+        for mode in SPAN_MODES {
+            let coalesced = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+                .with_span_mode(mode)
+                .run(&trace, policy);
+            assert_eq!(reference, coalesced, "{policy:?} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn long_decode_spans_compress_events_not_results() {
+    // The regime the optimization exists for: few scheduling
+    // boundaries, many tokens between them. A 2-client closed loop at
+    // 96 tokens coalesces nearly everything; results stay identical.
+    let trace = ArrivalTrace::closed_loop(2, 1, RequestShape::new(500, 96));
+    for policy in [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::ContinuousBatch { max_batch: 2 },
+    ] {
+        let reference = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(SpanMode::PerOp)
+            .run(&trace, policy);
+        let coalesced =
+            ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b()).run(&trace, policy);
+        assert_eq!(reference, coalesced, "{policy:?}");
+        assert_eq!(coalesced.tokens_served, 192);
+    }
+}
+
+#[test]
+fn kv_blocked_pending_requests_stay_bit_exact_over_long_spans() {
+    // Requests reserving ~3000 KV tokens of the ~7.6k allocation run
+    // two at a time while the rest sit pending, blocked on capacity —
+    // the regime where spans must keep coalescing (a blocked head can
+    // only be admitted at a completion, which is always a span end)
+    // yet still retire the waves in the per-op order.
+    let shape = RequestShape::new(2990, 40);
+    let trace = ArrivalTrace::burst(4, shape);
+    let policy = SchedulePolicy::ContinuousBatch { max_batch: 4 };
+    let reference = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+        .with_span_mode(SpanMode::PerOp)
+        .run(&trace, policy);
+    assert_eq!(reference.peak_batch_occupancy, 2);
+    for mode in SPAN_MODES {
+        let coalesced = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(mode)
+            .run(&trace, policy);
+        assert_eq!(reference, coalesced, "{mode:?}");
+    }
+}
+
+#[test]
+fn span_cap_of_zero_tokens_panics_at_configuration() {
+    let result = std::panic::catch_unwind(|| {
+        ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(SpanMode::Coalesced { max_span: 0 })
+    });
+    assert!(result.is_err(), "max_span: 0 must be rejected");
+}
