@@ -16,7 +16,14 @@
 //!    default 512) under continuous batching, measured with span
 //!    fast-forwarding on (the default engine) *and* with the per-op
 //!    reference loop (`SpanMode::PerOp`, the PR 4 engine), recording
-//!    the wall-clock speedup spans buy in the regime they exist for.
+//!    the wall-clock speedup spans buy in the regime they exist for;
+//! 5. **montecarlo** — the long-decode scenario fanned across
+//!    `--monte-carlo` seeded Poisson arrival traces through
+//!    [`MonteCarlo`]: one pre-warmed pricing system shared by every
+//!    seed, so the wall rate is *aggregate* simulated tokens (all
+//!    seeds) per wall-second — the harness's figure of merit — plus
+//!    the cross-seed estimates (mean ± 95% CI) the batch exists to
+//!    produce.
 //!
 //! Each variant reports best/mean/**median** over the iterations —
 //! the raw arrays routinely carry ~35% scheduler outliers, which the
@@ -26,10 +33,11 @@
 //!
 //! ```text
 //! serve_throughput [--iters N] [--clients N] [--tokens N]
-//!                  [--long-tokens N] [--out PATH]
+//!                  [--long-tokens N] [--monte-carlo N] [--out PATH]
 //! ```
 
 use bench::Json;
+use cambricon_llm::montecarlo::MonteCarlo;
 use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode};
 use cambricon_llm::SystemConfig;
 use llm_workload::{zoo, ArrivalTrace, RequestShape};
@@ -40,6 +48,7 @@ struct Args {
     clients: usize,
     tokens: usize,
     long_tokens: usize,
+    monte_carlo: usize,
     out: String,
 }
 
@@ -49,6 +58,7 @@ fn parse_args() -> Args {
         clients: 8,
         tokens: 32,
         long_tokens: 512,
+        monte_carlo: 32,
         out: "BENCH_serving.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -68,6 +78,11 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--long-tokens: integer")
             }
+            "--monte-carlo" => {
+                args.monte_carlo = value("--monte-carlo")
+                    .parse()
+                    .expect("--monte-carlo: integer")
+            }
             "--out" => args.out = value("--out"),
             other => {
                 eprintln!("unknown flag {other}; see the doc comment for usage");
@@ -77,6 +92,7 @@ fn parse_args() -> Args {
     }
     assert!(args.iters >= 1, "--iters must be at least 1");
     assert!(args.long_tokens >= 1, "--long-tokens must be at least 1");
+    assert!(args.monte_carlo >= 1, "--monte-carlo must be at least 1");
     args
 }
 
@@ -239,6 +255,42 @@ fn main() {
         stats_c.median / stats_base.median,
     );
 
+    // Monte Carlo variant: the same long-decode scenario fanned across
+    // seeded Poisson arrival traces. One timed `run` prices the
+    // scenario once (the internal warm-up) and replays it per seed on
+    // clones of the warm system, so the aggregate wall rate — tokens
+    // across *all* seeds per wall-second — is what the harness's
+    // amortization buys over running the seeds as independent
+    // cold-cache simulations.
+    const MC_ROOT_SEED: u64 = 0xCA3B51C0;
+    let mc = MonteCarlo::new(args.monte_carlo, MC_ROOT_SEED);
+    let mc_trace = |seed: u64| ArrivalTrace::poisson(1.0, args.clients, long_shape, seed);
+    println!(
+        "montecarlo: {} seeds (root {MC_ROOT_SEED:#x}) x {} poisson arrivals x {} tokens",
+        args.monte_carlo, args.clients, args.long_tokens
+    );
+    let warm_mc = mc.run(&engine, policy, mc_trace);
+    let mc_tokens = warm_mc.tokens_served;
+    let mut mc_rates = Vec::with_capacity(args.iters);
+    for i in 0..args.iters {
+        let t0 = Instant::now();
+        let rep = mc.run(&engine, policy, mc_trace);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(rep, warm_mc, "non-deterministic Monte Carlo batch");
+        let rate = mc_tokens as f64 / wall;
+        println!("  montecarlo iter {i}: {wall:.4} s wall, {rate:.0} aggregate simulated tokens/s");
+        mc_rates.push(rate);
+    }
+    let stats_mc = WallStats::of(mc_rates);
+    println!(
+        "montecarlo({} seeds): {} aggregate tokens; best {:.0}, median {:.0} tok/s-wall\n{}",
+        args.monte_carlo,
+        mc_tokens,
+        stats_mc.best,
+        stats_mc.median,
+        warm_mc.summary(),
+    );
+
     let doc = Json::obj()
         .field("benchmark", "serve_throughput")
         .field(
@@ -315,6 +367,59 @@ fn main() {
                     .field(
                         "span_speedup_median",
                         Json::float(stats_c.median / stats_base.median, 2),
+                    ),
+            ),
+        )
+        .field(
+            "montecarlo",
+            stats_mc.fields(
+                Json::obj()
+                    .field("seeds", args.monte_carlo)
+                    .field("root_seed", MC_ROOT_SEED)
+                    .field("policy", "ContinuousBatch")
+                    .field("max_batch", args.clients)
+                    .field("arrivals_per_seed", args.clients)
+                    .field("new_tokens", args.long_tokens)
+                    .field("aggregate_tokens_served", mc_tokens)
+                    .field(
+                        "sim_throughput_mean",
+                        Json::float(warm_mc.throughput.mean, 4),
+                    )
+                    .field(
+                        "sim_throughput_ci95",
+                        Json::float(warm_mc.throughput.ci95, 4),
+                    )
+                    .field(
+                        "sim_ttft_p50_mean_s",
+                        Json::float(warm_mc.ttft_p50_s.mean, 4),
+                    )
+                    .field(
+                        "sim_ttft_p50_ci95_s",
+                        Json::float(warm_mc.ttft_p50_s.ci95, 4),
+                    )
+                    .field(
+                        "sim_ttft_p99_mean_s",
+                        Json::float(warm_mc.ttft_p99_s.mean, 4),
+                    )
+                    .field(
+                        "sim_ttft_p99_ci95_s",
+                        Json::float(warm_mc.ttft_p99_s.ci95, 4),
+                    )
+                    .field(
+                        "sim_token_latency_p99_mean_s",
+                        Json::float(warm_mc.token_latency_p99_s.mean, 4),
+                    )
+                    .field(
+                        "sim_token_latency_p99_ci95_s",
+                        Json::float(warm_mc.token_latency_p99_s.ci95, 4),
+                    )
+                    .field(
+                        "mean_batch_occupancy",
+                        Json::float(warm_mc.batch_occupancy.mean, 4),
+                    )
+                    .field(
+                        "kv_rejections_mean",
+                        Json::float(warm_mc.kv_rejections.mean, 4),
                     ),
             ),
         );

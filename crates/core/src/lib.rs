@@ -35,6 +35,7 @@ pub mod config;
 pub mod cost;
 pub mod energy;
 pub mod functional;
+pub mod montecarlo;
 pub mod prefill;
 pub mod roofline;
 pub mod serve;
@@ -47,6 +48,7 @@ pub use config::SystemConfig;
 pub use cost::{cambricon_bom, table_i, traditional_bom, Bom, Prices};
 pub use energy::EnergyModel;
 pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
+pub use montecarlo::{MonteCarlo, MonteCarloReport};
 pub use prefill::{prefill, PrefillError, PrefillReport};
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
 pub use serve::{

@@ -562,6 +562,11 @@ impl ServeEngine {
         self.span
     }
 
+    /// The system configuration this engine simulates.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
     /// The model this engine serves.
     pub fn model(&self) -> &ModelSpec {
         &self.model
@@ -581,12 +586,30 @@ impl ServeEngine {
     /// Panics if `policy` is [`SchedulePolicy::ContinuousBatch`] with
     /// `max_batch == 0` (a batch must hold at least one request).
     pub fn run(&self, trace: &ArrivalTrace, policy: SchedulePolicy) -> ServeReport {
+        self.run_with_system(trace, policy, System::new(self.cfg)).0
+    }
+
+    /// Runs `trace` on a caller-provided [`System`], using and
+    /// extending the memoization state (GeMV cache, op-cost cache) it
+    /// carries, and returns the system alongside the report.
+    ///
+    /// The Monte Carlo harness hands every seeded run a clone of one
+    /// pre-warmed system, so the fixed pricing cost of a scenario is
+    /// paid once instead of once per seed; [`ServeEngine::run`] passes
+    /// a fresh system, preserving the cold-cache reports the goldens
+    /// pin (cache hit/miss counters included).
+    pub(crate) fn run_with_system(
+        &self,
+        trace: &ArrivalTrace,
+        policy: SchedulePolicy,
+        system: System,
+    ) -> (ServeReport, System) {
         match policy {
             SchedulePolicy::ContinuousBatch { max_batch } => {
                 assert!(max_batch >= 1, "a batch must hold at least one request");
-                BatchedSimulation::new(self, trace, max_batch).run()
+                BatchedSimulation::new(self, trace, max_batch, system).run()
             }
-            _ => Simulation::new(self, trace, policy).run(),
+            _ => Simulation::new(self, trace, policy, system).run(),
         }
     }
 }
@@ -750,29 +773,104 @@ enum Phase {
     Done,
 }
 
-/// Per-request execution state.
+/// Per-request execution state, laid out struct-of-arrays.
+///
+/// The event loops scan a handful of fields per request on every
+/// scheduling decision — the span boundary computation's min-remaining
+/// scan, the batched walk's per-member sequence positions and attention
+/// latencies, the round-robin recency keys — while the rest (arrival
+/// stamps, report timestamps, client bindings) is touched only at
+/// admission and completion. A `Vec` of one heterogeneous struct
+/// strides those hot scans over the cold report fields; splitting the
+/// loop-scanned fields into dense parallel arrays keeps each scan on a
+/// contiguous lane of same-typed values. Pure layout change: every
+/// site reads and writes the same values in the same order, so reports
+/// are bit-identical to the array-of-structs engine (pinned by the
+/// goldens and the span-equivalence suite).
+#[derive(Debug, Default)]
+struct RequestPool {
+    /// Lifecycle phase (`Queued → Prefilling → Decoding → Done`).
+    phase: Vec<Phase>,
+    /// Decode tokens still owed — the operand of the span boundary
+    /// computation's min-remaining scan.
+    remaining: Vec<usize>,
+    /// Position in the shared [`TokenPlan`] (carries the sequence
+    /// length the batched walk reads per member per step).
+    cursor: Vec<OpCursor>,
+    /// Start of the token currently being decoded.
+    token_started: Vec<SimTime>,
+    /// Latencies of the current token's seq-dependent slots, refreshed
+    /// at each token start.
+    dep_lat: Vec<[SimTime; MAX_DEP_SLOTS]>,
+    /// Monotone stamp of the last time a resource scheduled each
+    /// request (round-robin recency key).
+    last_scheduled: Vec<u64>,
+    /// The boundary-only half of each request's state.
+    cold: Vec<ColdRequest>,
+}
+
+/// The cold half of a request's state: everything a [`RequestReport`]
+/// needs that no inner loop scans.
 #[derive(Debug)]
-struct RequestState {
+struct ColdRequest {
     shape: RequestShape,
     arrived: SimTime,
     started: Option<SimTime>,
-    phase: Phase,
     /// When the prefill stage completed (set iff one ran).
     prefill_end: Option<SimTime>,
     first_token: Option<SimTime>,
-    token_started: SimTime,
-    /// Position in the shared [`TokenPlan`] (replaces a per-token
-    /// materialized op vector).
-    cursor: OpCursor,
-    /// Latencies of this token's seq-dependent slots, refreshed at each
-    /// token start.
-    dep_lat: [SimTime; MAX_DEP_SLOTS],
-    tokens_done: usize,
     /// Closed-loop client this request belongs to, if any.
     client: Option<usize>,
-    /// Monotone stamp of the last time a resource scheduled this
-    /// request (round-robin recency key).
-    last_scheduled: u64,
+}
+
+impl RequestPool {
+    /// Appends a fresh request and returns its id. The single
+    /// construction site for request state — shared by trace admission
+    /// and the closed-loop respawn path inside the event loops.
+    fn push(&mut self, shape: RequestShape, arrived: SimTime, client: Option<usize>) -> usize {
+        let id = self.cold.len();
+        debug_assert!(
+            id < SPAN_BOUNDARY,
+            "request ids collide with event sentinels"
+        );
+        self.phase.push(Phase::Queued);
+        self.remaining.push(shape.new_tokens);
+        self.cursor.push(OpCursor::new(shape.prompt_len));
+        self.token_started.push(arrived);
+        self.dep_lat.push([SimTime::ZERO; MAX_DEP_SLOTS]);
+        self.last_scheduled.push(0);
+        self.cold.push(ColdRequest {
+            shape,
+            arrived,
+            started: None,
+            prefill_end: None,
+            first_token: None,
+            client,
+        });
+        id
+    }
+
+    /// Tokens generated so far — the report-facing complement of
+    /// [`RequestPool::remaining`].
+    fn tokens_done(&self, id: usize) -> usize {
+        self.cold[id].shape.new_tokens - self.remaining[id]
+    }
+
+    /// Assembles the completion report for `id` finishing at `now`.
+    /// The single definition shared by both event loops.
+    fn completion_report(&self, id: usize, now: SimTime) -> RequestReport {
+        let c = &self.cold[id];
+        let started = c.started.expect("completed request never started");
+        RequestReport {
+            id,
+            arrived: c.arrived,
+            started,
+            prefill_end: c.prefill_end.unwrap_or(started),
+            first_token_at: c.first_token.expect("completed request has tokens"),
+            finished: now,
+            tokens: self.tokens_done(id),
+        }
+    }
 }
 
 /// The serving scheduler's event core.
@@ -899,7 +997,7 @@ struct Simulation<'a> {
     prefill: Option<PrefillState<'a>>,
     ev: EventCore,
     ready: RequestQueue,
-    requests: Vec<RequestState>,
+    requests: RequestPool,
     busy_track: [BusyTracker; 2],
     stamp: u64,
     /// Remaining requests per closed-loop client.
@@ -994,52 +1092,19 @@ fn prefill_cost_bucketed(
     c
 }
 
-/// Appends a fresh request and returns its id. The single construction
-/// site for [`RequestState`] — shared by trace admission and the
-/// closed-loop respawn path inside the event loop (a free function so
-/// the loop can call it while holding disjoint borrows of the
-/// simulation's fields).
-fn push_request(
-    requests: &mut Vec<RequestState>,
-    shape: RequestShape,
-    arrived: SimTime,
-    client: Option<usize>,
-) -> usize {
-    let id = requests.len();
-    debug_assert!(
-        id < SPAN_BOUNDARY,
-        "request ids collide with event sentinels"
-    );
-    requests.push(RequestState {
-        shape,
-        arrived,
-        started: None,
-        phase: Phase::Queued,
-        prefill_end: None,
-        first_token: None,
-        token_started: arrived,
-        cursor: OpCursor::new(shape.prompt_len),
-        dep_lat: [SimTime::ZERO; MAX_DEP_SLOTS],
-        tokens_done: 0,
-        client,
-        last_scheduled: 0,
-    });
-    id
-}
-
-/// Seeds the request table and arrival events from a trace. Returns
+/// Seeds the request pool and arrival events from a trace. Returns
 /// `(client_remaining, closed_shape)`. Shared by both simulation
 /// loops, so arrival order — and therefore event stamps — is
 /// identical regardless of policy.
 fn load_trace(
     trace: &ArrivalTrace,
-    requests: &mut Vec<RequestState>,
+    requests: &mut RequestPool,
     ev: &mut EventCore,
 ) -> (Vec<usize>, Option<RequestShape>) {
     match trace {
         ArrivalTrace::Open(arrivals) => {
             for a in arrivals {
-                let id = push_request(requests, a.shape, a.at, None);
+                let id = requests.push(a.shape, a.at, None);
                 ev.schedule_arrival(a.at, id);
             }
             (Vec::new(), None)
@@ -1057,7 +1122,7 @@ fn load_trace(
             );
             let remaining = vec![requests_per_client - 1; *clients];
             for client in 0..*clients {
-                let id = push_request(requests, *shape, SimTime::ZERO, Some(client));
+                let id = requests.push(*shape, SimTime::ZERO, Some(client));
                 ev.schedule_arrival(SimTime::ZERO, id);
             }
             (remaining, Some(*shape))
@@ -1071,7 +1136,7 @@ fn load_trace(
 /// a free function so callers can hold disjoint borrows of their
 /// simulation's fields.
 fn respawn_client(
-    requests: &mut Vec<RequestState>,
+    requests: &mut RequestPool,
     ev: &mut EventCore,
     client_remaining: &mut [usize],
     closed_shape: Option<RequestShape>,
@@ -1082,7 +1147,7 @@ fn respawn_client(
         if client_remaining[client] > 0 {
             client_remaining[client] -= 1;
             let shape = closed_shape.expect("closed loop has a shape");
-            let next = push_request(requests, shape, now, Some(client));
+            let next = requests.push(shape, now, Some(client));
             ev.schedule_arrival(now, next);
         }
     }
@@ -1111,15 +1176,16 @@ fn begin_token(
     plan: &TokenPlan,
     table: &mut PlanTable,
     traffic: &mut TrafficBreakdown,
-    r: &mut RequestState,
+    requests: &mut RequestPool,
+    id: usize,
 ) {
     price_invariant(system, plan, table);
     traffic.absorb(&table.inv_traffic);
-    let seq = r.cursor.seq_len();
+    let seq = requests.cursor[id].seq_len();
     for d in 0..table.n_dep {
         let op_slot = table.n_inv + d;
         let cost = system.op_cost(&plan.slot_op(op_slot, seq));
-        r.dep_lat[d] = cost.latency;
+        requests.dep_lat[id][d] = cost.latency;
         traffic.absorb_scaled(&cost.traffic, plan.slot_count(op_slot) as u64);
     }
 }
@@ -1133,12 +1199,13 @@ fn begin_token(
 /// span/per-op bit-exactness requires these four sites to agree, so
 /// the agreement is structural rather than copy-discipline.
 #[inline]
-fn retire_token(r: &mut RequestState, tb: SimTime, token_latencies: &mut Samples) {
-    r.tokens_done += 1;
-    token_latencies.push(tb.saturating_sub(r.token_started).as_secs_f64());
-    r.token_started = tb;
-    if r.first_token.is_none() {
-        r.first_token = Some(tb);
+fn retire_token(requests: &mut RequestPool, id: usize, tb: SimTime, token_latencies: &mut Samples) {
+    requests.remaining[id] -= 1;
+    token_latencies.push(tb.saturating_sub(requests.token_started[id]).as_secs_f64());
+    requests.token_started[id] = tb;
+    let first = &mut requests.cold[id].first_token;
+    if first.is_none() {
+        *first = Some(tb);
     }
 }
 
@@ -1175,16 +1242,20 @@ fn run_solo_span(
     traffic: &mut TrafficBreakdown,
     token_latencies: &mut Samples,
     stamp: &mut u64,
-    r: &mut RequestState,
+    requests: &mut RequestPool,
     id: usize,
     span_cap: usize,
     now: SimTime,
 ) -> usize {
     debug_assert!(table.priced, "a begun token implies a priced table");
-    debug_assert_eq!(r.cursor.index(), 0, "span starts at a token boundary");
+    debug_assert_eq!(
+        requests.cursor[id].index(),
+        0,
+        "span starts at a token boundary"
+    );
     let n_ops = plan.len();
     let next_arrival = ev.next_arrival_ps();
-    let remaining = r.shape.new_tokens - r.tokens_done;
+    let remaining = requests.remaining[id];
     let mut lats: Vec<SimTime> = Vec::with_capacity(remaining.min(span_cap).min(4096));
     let mut t = now;
     let mut k = 0usize;
@@ -1193,7 +1264,7 @@ fn run_solo_span(
     // `begin_token`; later tokens are priced speculatively below and
     // booked only on acceptance — a rejected token is re-priced by its
     // own `begin_token` later, hitting the memo.
-    let mut dep = r.dep_lat;
+    let mut dep = requests.dep_lat[id];
     let mut unbooked: Option<[TrafficBreakdown; MAX_DEP_SLOTS]> = None;
     loop {
         let mut lat = table.solo_flash_lat + table.solo_npu_lat;
@@ -1225,7 +1296,7 @@ fn run_solo_span(
             break;
         }
         // Price the next token's attention slots (speculative).
-        let seq = r.cursor.seq_len() + k;
+        let seq = requests.cursor[id].seq_len() + k;
         let mut tr = [TrafficBreakdown::default(); MAX_DEP_SLOTS];
         for d in 0..table.n_dep {
             let cost = system.op_cost(&plan.slot_op(table.n_inv + d, seq));
@@ -1241,21 +1312,22 @@ fn run_solo_span(
     // stamp) per op of every coalesced token.
     let elided = (k * n_ops) as u64;
     *stamp += elided;
-    r.last_scheduled = *stamp;
-    if r.started.is_none() {
-        r.started = Some(now);
+    requests.last_scheduled[id] = *stamp;
+    let started = &mut requests.cold[id].started;
+    if started.is_none() {
+        *started = Some(now);
     }
     // Interior boundaries: every token but the last retires inline.
     let mut tb = now;
     for &lat in &lats[..k - 1] {
         tb += lat;
-        retire_token(r, tb, token_latencies);
+        retire_token(requests, id, tb, token_latencies);
     }
     // Advance the cursor past the retired tokens in one shot, then
     // park it one op short of the final token's end so the ordinary
     // completion handler's advance lands on the token boundary.
-    r.cursor.advance_by(k - 1);
-    r.cursor.seek(n_ops - 1);
+    requests.cursor[id].advance_by(k - 1);
+    requests.cursor[id].seek(n_ops - 1);
     // One busy interval per resource for the whole span: the per-class
     // totals are identical to per-op interval accounting (integer
     // sums), and each interval ends before the span does.
@@ -1268,16 +1340,21 @@ fn run_solo_span(
 }
 
 impl<'a> Simulation<'a> {
-    fn new(engine: &'a ServeEngine, trace: &ArrivalTrace, policy: SchedulePolicy) -> Self {
+    fn new(
+        engine: &'a ServeEngine,
+        trace: &ArrivalTrace,
+        policy: SchedulePolicy,
+        system: System,
+    ) -> Self {
         let mut sim = Simulation {
-            system: System::new(engine.cfg),
+            system,
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
             policy,
             prefill: PrefillState::new(engine),
             ev: EventCore::default(),
             ready: RequestQueue::default(),
-            requests: Vec::new(),
+            requests: RequestPool::default(),
             busy_track: [BusyTracker::new(), BusyTracker::new()],
             stamp: 0,
             client_remaining: Vec::new(),
@@ -1302,7 +1379,7 @@ impl<'a> Simulation<'a> {
     /// destructuring `self` keeps the table/queue/request base pointers
     /// in registers across iterations instead of re-loading them
     /// through `self` in every helper call.
-    fn run(mut self) -> ServeReport {
+    fn run(mut self) -> (ServeReport, System) {
         let policy = self.policy;
         {
             let Simulation {
@@ -1329,15 +1406,17 @@ impl<'a> Simulation<'a> {
             } = &mut self;
             let plan: &TokenPlan = plan;
             let n_ops = table.classes.len();
-            let ready_key = |policy: SchedulePolicy, r: &RequestState| match policy {
-                // Earliest arrival wins; id breaks ties
-                // deterministically (heap entries are `(key, id)`).
-                SchedulePolicy::Fcfs => r.arrived.as_picos(),
-                // Least-recently-scheduled wins: fair rotation.
-                SchedulePolicy::RoundRobin => r.last_scheduled,
-                // Routed to `BatchedSimulation` by `ServeEngine::run`.
-                SchedulePolicy::ContinuousBatch { .. } => {
-                    unreachable!("batched policy has its own loop")
+            let ready_key = |policy: SchedulePolicy, requests: &RequestPool, id: usize| {
+                match policy {
+                    // Earliest arrival wins; id breaks ties
+                    // deterministically (heap entries are `(key, id)`).
+                    SchedulePolicy::Fcfs => requests.cold[id].arrived.as_picos(),
+                    // Least-recently-scheduled wins: fair rotation.
+                    SchedulePolicy::RoundRobin => requests.last_scheduled[id],
+                    // Routed to `BatchedSimulation` by `ServeEngine::run`.
+                    SchedulePolicy::ContinuousBatch { .. } => {
+                        unreachable!("batched policy has its own loop")
+                    }
                 }
             };
 
@@ -1355,10 +1434,10 @@ impl<'a> Simulation<'a> {
                         // immediately; these policies interleave per-op
                         // and do not reserve shared capacity ahead,
                         // `ContinuousBatch` does.
-                        let shape = requests[id].shape;
+                        let shape = requests.cold[id].shape;
                         if shape.prompt_len + shape.new_tokens > *kv_max_context {
                             *kv_rejections += 1;
-                            let client = requests[id].client;
+                            let client = requests.cold[id].client;
                             respawn_client(
                                 requests,
                                 ev,
@@ -1376,20 +1455,21 @@ impl<'a> Simulation<'a> {
                         // on the flash list and prices its first token
                         // only once the prompt is resident.
                         if first_arrival.is_none() {
-                            *first_arrival = Some(requests[id].arrived);
+                            *first_arrival = Some(requests.cold[id].arrived);
                         }
-                        let r = &mut requests[id];
-                        r.token_started = now;
-                        if prefill.is_some() && r.shape.prompt_len > 0 {
-                            let r = &requests[id];
-                            ready.enqueue(slot(OpClass::Flash), ready_key(policy, r), id);
-                        } else {
-                            r.phase = Phase::Decoding;
-                            begin_token(system, plan, table, traffic, r);
-                            let r = &requests[id];
+                        requests.token_started[id] = now;
+                        if prefill.is_some() && shape.prompt_len > 0 {
                             ready.enqueue(
-                                slot(table.classes[r.cursor.index()]),
-                                ready_key(policy, r),
+                                slot(OpClass::Flash),
+                                ready_key(policy, requests, id),
+                                id,
+                            );
+                        } else {
+                            requests.phase[id] = Phase::Decoding;
+                            begin_token(system, plan, table, traffic, requests, id);
+                            ready.enqueue(
+                                slot(table.classes[requests.cursor[id].index()]),
+                                ready_key(policy, requests, id),
                                 id,
                             );
                         }
@@ -1399,61 +1479,52 @@ impl<'a> Simulation<'a> {
                         // nothing to step, the resource is simply free
                         // again for the dispatch pass below.
                     }
-                    Fired::Op(_, id) if requests[id].phase == Phase::Prefilling => {
+                    Fired::Op(_, id) if requests.phase[id] == Phase::Prefilling => {
                         // Prefill complete (flash-slot event): the
                         // prompt is resident, decode begins.
-                        let r = &mut requests[id];
-                        r.phase = Phase::Decoding;
-                        r.prefill_end = Some(now);
-                        begin_token(system, plan, table, traffic, r);
-                        let r = &requests[id];
+                        requests.phase[id] = Phase::Decoding;
+                        requests.cold[id].prefill_end = Some(now);
+                        begin_token(system, plan, table, traffic, requests, id);
                         ready.enqueue(
-                            slot(table.classes[r.cursor.index()]),
-                            ready_key(policy, r),
+                            slot(table.classes[requests.cursor[id].index()]),
+                            ready_key(policy, requests, id),
                             id,
                         );
                     }
                     Fired::Op(_, id) => {
                         // The resource freed (`pop` vacated its slot);
                         // step the request's cursor.
-                        let r = &mut requests[id];
-                        r.cursor.advance();
-                        let idx = r.cursor.index();
+                        requests.cursor[id].advance();
+                        let idx = requests.cursor[id].index();
                         if idx < n_ops {
-                            ready.enqueue(slot(table.classes[idx]), ready_key(policy, r), id);
+                            ready.enqueue(
+                                slot(table.classes[idx]),
+                                ready_key(policy, requests, id),
+                                id,
+                            );
                         } else {
                             // Token complete.
-                            retire_token(r, now, token_latencies);
-                            if r.tokens_done < r.shape.new_tokens {
+                            retire_token(requests, id, now, token_latencies);
+                            if requests.remaining[id] > 0 {
                                 // Next token: context has grown by the
                                 // token just emitted.
-                                r.cursor.next_token();
-                                begin_token(system, plan, table, traffic, r);
-                                let r = &requests[id];
-                                ready.enqueue(slot(table.classes[0]), ready_key(policy, r), id);
+                                requests.cursor[id].next_token();
+                                begin_token(system, plan, table, traffic, requests, id);
+                                ready.enqueue(
+                                    slot(table.classes[0]),
+                                    ready_key(policy, requests, id),
+                                    id,
+                                );
                             } else {
                                 // Request complete.
-                                let r = &mut requests[id];
-                                r.phase = Phase::Done;
-                                let r = &requests[id];
-                                let started = r.started.expect("completed request never started");
-                                let report = RequestReport {
-                                    id,
-                                    arrived: r.arrived,
-                                    started,
-                                    prefill_end: r.prefill_end.unwrap_or(started),
-                                    first_token_at: r
-                                        .first_token
-                                        .expect("completed request has tokens"),
-                                    finished: now,
-                                    tokens: r.tokens_done,
-                                };
+                                requests.phase[id] = Phase::Done;
+                                let report = requests.completion_report(id, now);
                                 queueing.push(report.queueing_delay().as_secs_f64());
                                 done.push(report);
 
                                 // Closed loop: the client immediately
                                 // issues its next request.
-                                let client = r.client;
+                                let client = requests.cold[id].client;
                                 respawn_client(
                                     requests,
                                     ev,
@@ -1476,26 +1547,25 @@ impl<'a> Simulation<'a> {
                 if *span_cap > 0 && !ev.busy(0) && !ev.busy(1) && ready.len() == 1 {
                     let s_heap = usize::from(ready.ready[0].is_empty());
                     let id = ready.pop_min(s_heap).expect("ready holds one request");
-                    let spanned = {
-                        let r = &mut requests[id];
-                        if r.phase == Phase::Decoding && r.cursor.index() == 0 {
-                            run_solo_span(
-                                system,
-                                plan,
-                                table,
-                                ev,
-                                busy_track,
-                                traffic,
-                                token_latencies,
-                                stamp,
-                                r,
-                                id,
-                                *span_cap,
-                                now,
-                            )
-                        } else {
-                            0
-                        }
+                    let spanned = if requests.phase[id] == Phase::Decoding
+                        && requests.cursor[id].index() == 0
+                    {
+                        run_solo_span(
+                            system,
+                            plan,
+                            table,
+                            ev,
+                            busy_track,
+                            traffic,
+                            token_latencies,
+                            stamp,
+                            requests,
+                            id,
+                            *span_cap,
+                            now,
+                        )
+                    } else {
+                        0
                     };
                     if spanned > 0 {
                         continue;
@@ -1503,8 +1573,7 @@ impl<'a> Simulation<'a> {
                     // No coalescible token (an arrival is imminent, or
                     // the request owes a prefill): back in the ready
                     // heap for ordinary per-op dispatch below.
-                    let r = &requests[id];
-                    ready.enqueue(s_heap, ready_key(policy, r), id);
+                    ready.enqueue(s_heap, ready_key(policy, requests, id), id);
                 }
 
                 // Dispatch: start an op on every idle resource that has
@@ -1518,7 +1587,7 @@ impl<'a> Simulation<'a> {
                     let Some(id) = ready.pop_min(s) else {
                         continue;
                     };
-                    if requests[id].phase == Phase::Queued {
+                    if requests.phase[id] == Phase::Queued {
                         // A pending prefill: it needs the whole device
                         // (flash stream + NPU GeMMs together). If the
                         // NPU is mid-op, the flash idles and the
@@ -1527,18 +1596,16 @@ impl<'a> Simulation<'a> {
                         // next completion event.
                         debug_assert_eq!(s, slot(OpClass::Flash));
                         if ev.busy(slot(OpClass::Npu)) {
-                            let r = &requests[id];
-                            ready.enqueue(s, ready_key(policy, r), id);
+                            ready.enqueue(s, ready_key(policy, requests, id), id);
                             continue;
                         }
                         *stamp += 1;
-                        let r = &mut requests[id];
-                        r.last_scheduled = *stamp;
-                        r.phase = Phase::Prefilling;
-                        if r.started.is_none() {
-                            r.started = Some(now);
+                        requests.last_scheduled[id] = *stamp;
+                        requests.phase[id] = Phase::Prefilling;
+                        if requests.cold[id].started.is_none() {
+                            requests.cold[id].started = Some(now);
                         }
-                        let m = r.shape.prompt_len;
+                        let m = requests.cold[id].shape.prompt_len;
                         let ps = prefill
                             .as_mut()
                             .expect("Queued is only dispatched with prefill on");
@@ -1552,12 +1619,11 @@ impl<'a> Simulation<'a> {
                         continue;
                     }
                     *stamp += 1;
-                    let r = &mut requests[id];
-                    r.last_scheduled = *stamp;
-                    if r.started.is_none() {
-                        r.started = Some(now);
+                    requests.last_scheduled[id] = *stamp;
+                    if requests.cold[id].started.is_none() {
+                        requests.cold[id].started = Some(now);
                     }
-                    let idx = r.cursor.index();
+                    let idx = requests.cursor[id].index();
                     debug_assert_eq!(
                         slot(table.classes[idx]),
                         s,
@@ -1567,7 +1633,7 @@ impl<'a> Simulation<'a> {
                     let latency = if cost_slot < table.n_inv {
                         table.inv_lat[cost_slot]
                     } else {
-                        r.dep_lat[cost_slot - table.n_inv]
+                        requests.dep_lat[id][cost_slot - table.n_inv]
                     };
                     busy_track[s].add_interval(now, now + latency);
                     ev.schedule_op(s, now + latency, id);
@@ -1578,7 +1644,7 @@ impl<'a> Simulation<'a> {
         self.finish()
     }
 
-    fn finish(self) -> ServeReport {
+    fn finish(self) -> (ServeReport, System) {
         assert!(
             self.ready.is_empty(),
             "event core drained with work outstanding"
@@ -1605,7 +1671,7 @@ impl<'a> Simulation<'a> {
         // (whether through the GeMV cache itself or the tables above).
         let gemv_dispatched = tokens_served * self.table.gemvs_per_token;
 
-        build_report(ReportInputs {
+        let report = build_report(ReportInputs {
             policy: self.policy,
             prefill: if self.prefill.is_some() {
                 PrefillMode::Modeled
@@ -1625,7 +1691,8 @@ impl<'a> Simulation<'a> {
             kv_rejections: self.kv_rejections,
             traffic: self.traffic,
             done: self.done,
-        })
+        });
+        (report, self.system)
     }
 }
 
@@ -1827,7 +1894,7 @@ struct BatchedSimulation<'a> {
     /// Shared DRAM KV allocation; holds one whole-context reservation
     /// per in-flight request.
     kv: KvCache,
-    requests: Vec<RequestState>,
+    requests: RequestPool,
     busy_track: [BusyTracker; 2],
     client_remaining: Vec<usize>,
     closed_shape: Option<RequestShape>,
@@ -1852,13 +1919,18 @@ struct BatchedSimulation<'a> {
 }
 
 impl<'a> BatchedSimulation<'a> {
-    fn new(engine: &'a ServeEngine, trace: &ArrivalTrace, max_batch: usize) -> Self {
+    fn new(
+        engine: &'a ServeEngine,
+        trace: &ArrivalTrace,
+        max_batch: usize,
+        system: System,
+    ) -> Self {
         // The one authoritative cache: the admission gate (`kv.fits`)
         // and the never-fits rejection criterion are both derived from
         // it, so they cannot disagree.
         let kv = kv_cache(engine);
         let mut sim = BatchedSimulation {
-            system: System::new(engine.cfg),
+            system,
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
             prefill: PrefillState::new(engine),
@@ -1867,7 +1939,7 @@ impl<'a> BatchedSimulation<'a> {
             pending: VecDeque::new(),
             kv_max_context: kv.max_tokens(),
             kv,
-            requests: Vec::new(),
+            requests: RequestPool::default(),
             busy_track: [BusyTracker::new(), BusyTracker::new()],
             client_remaining: Vec::new(),
             closed_shape: None,
@@ -1892,7 +1964,7 @@ impl<'a> BatchedSimulation<'a> {
         self.ev.busy(0) || self.ev.busy(1)
     }
 
-    fn run(mut self) -> ServeReport {
+    fn run(mut self) -> (ServeReport, System) {
         while let Some(fired) = self.ev.pop() {
             let now = self.ev.now;
             self.batch.note_occupancy(now);
@@ -1915,8 +1987,8 @@ impl<'a> BatchedSimulation<'a> {
                     // joining member's prompt is resident, the delayed
                     // batch step starts.
                     for &id in &self.batch.active {
-                        if self.requests[id].phase == Phase::Prefilling {
-                            self.requests[id].phase = Phase::Decoding;
+                        if self.requests.phase[id] == Phase::Prefilling {
+                            self.requests.phase[id] = Phase::Decoding;
                         }
                     }
                     self.start(now);
@@ -1946,25 +2018,16 @@ impl<'a> BatchedSimulation<'a> {
         let active = std::mem::take(&mut self.batch.active);
         let mut survivors = Vec::with_capacity(active.len());
         for id in active {
-            let r = &mut self.requests[id];
-            retire_token(r, now, &mut self.token_latencies);
-            if r.tokens_done < r.shape.new_tokens {
-                r.cursor.next_token();
+            retire_token(&mut self.requests, id, now, &mut self.token_latencies);
+            if self.requests.remaining[id] > 0 {
+                self.requests.cursor[id].next_token();
                 survivors.push(id);
             } else {
-                r.phase = Phase::Done;
-                let started = r.started.expect("completed request never started");
-                let report = RequestReport {
-                    id,
-                    arrived: r.arrived,
-                    started,
-                    prefill_end: r.prefill_end.unwrap_or(started),
-                    first_token_at: r.first_token.expect("completed request has tokens"),
-                    finished: now,
-                    tokens: r.tokens_done,
-                };
-                let context = r.shape.prompt_len + r.shape.new_tokens;
-                let client = r.client;
+                self.requests.phase[id] = Phase::Done;
+                let report = self.requests.completion_report(id, now);
+                let shape = self.requests.cold[id].shape;
+                let context = shape.prompt_len + shape.new_tokens;
+                let client = self.requests.cold[id].client;
                 self.queueing.push(report.queueing_delay().as_secs_f64());
                 self.done.push(report);
                 self.kv.release(context);
@@ -2026,12 +2089,12 @@ impl<'a> BatchedSimulation<'a> {
             let Some(&id) = self.pending.front() else {
                 break;
             };
-            let shape = self.requests[id].shape;
+            let shape = self.requests.cold[id].shape;
             let context = shape.prompt_len + shape.new_tokens;
             if context > self.kv_max_context {
                 self.pending.pop_front();
                 self.kv_rejections += 1;
-                let client = self.requests[id].client;
+                let client = self.requests.cold[id].client;
                 respawn_client(
                     &mut self.requests,
                     &mut self.ev,
@@ -2053,24 +2116,23 @@ impl<'a> BatchedSimulation<'a> {
                 .expect("fits() is prefill's admissibility criterion");
             self.pending.pop_front();
             if self.first_arrival.is_none() {
-                self.first_arrival = Some(self.requests[id].arrived);
+                self.first_arrival = Some(self.requests.cold[id].arrived);
             }
             self.batch.active.push(id);
             self.batch.peak = self.batch.peak.max(self.batch.active.len());
-            let r = &mut self.requests[id];
             // The step including this request starts at `now`. Its
-            // first-token clock keeps running from *arrival* (set by
-            // `push_request`), exactly like the per-op policies, so
-            // token-latency percentiles are comparable across policies:
-            // time spent pending for a batch slot or KV capacity is in
-            // the first token's latency, not hidden.
-            if r.started.is_none() {
-                r.started = Some(now);
+            // first-token clock keeps running from *arrival* (set at
+            // request construction), exactly like the per-op policies,
+            // so token-latency percentiles are comparable across
+            // policies: time spent pending for a batch slot or KV
+            // capacity is in the first token's latency, not hidden.
+            if self.requests.cold[id].started.is_none() {
+                self.requests.cold[id].started = Some(now);
             }
             // Admission puts the member straight into decode; the
             // prefill branch below overrides to `Prefilling` when the
             // member owes a prefill stage first.
-            r.phase = Phase::Decoding;
+            self.requests.phase[id] = Phase::Decoding;
             // The joining member's prompt must be made resident first:
             // its prefill runs in the admission window (serialized
             // after any other joiner's), pushing the next shared step
@@ -2088,11 +2150,10 @@ impl<'a> BatchedSimulation<'a> {
                     );
                     ps.busy += cost.total;
                     self.traffic.absorb(&cost.traffic);
-                    let r = &mut self.requests[id];
-                    r.started = Some(now + delay);
+                    self.requests.cold[id].started = Some(now + delay);
                     delay += cost.total;
-                    r.phase = Phase::Prefilling;
-                    r.prefill_end = Some(now + delay);
+                    self.requests.phase[id] = Phase::Prefilling;
+                    self.requests.cold[id].prefill_end = Some(now + delay);
                 }
             }
         }
@@ -2116,11 +2177,11 @@ impl<'a> BatchedSimulation<'a> {
         );
         for i in 0..self.batch.active.len() {
             let id = self.batch.active[i];
-            let seq = self.requests[id].cursor.seq_len();
+            let seq = self.requests.cursor[id].seq_len();
             for d in 0..self.table.n_dep {
                 let op_slot = self.table.n_inv + d;
                 let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
-                self.requests[id].dep_lat[d] = cost.latency;
+                self.requests.dep_lat[id][d] = cost.latency;
                 self.traffic
                     .absorb_scaled(&cost.traffic, self.plan.slot_count(op_slot) as u64);
             }
@@ -2188,7 +2249,7 @@ impl<'a> BatchedSimulation<'a> {
             .batch
             .active
             .iter()
-            .map(|&id| self.requests[id].shape.new_tokens - self.requests[id].tokens_done)
+            .map(|&id| self.requests.remaining[id])
             .min()
             .expect("batch is non-empty")
             .min(self.span_cap);
@@ -2204,7 +2265,7 @@ impl<'a> BatchedSimulation<'a> {
         // the span.
         let k_max = match self.pending.front() {
             Some(&head) if self.batch.active.len() < self.batch.max_batch => {
-                let shape = self.requests[head].shape;
+                let shape = self.requests.cold[head].shape;
                 let context = shape.prompt_len + shape.new_tokens;
                 if context > self.kv_max_context || self.kv.fits(context) {
                     1
@@ -2220,6 +2281,11 @@ impl<'a> BatchedSimulation<'a> {
         let mut t = now;
         let mut npu_busy = SimTime::ZERO;
         let mut k = 0usize;
+        // Attention traffic accumulates span-locally and lands in the
+        // shared ledger once at span end: the integer per-step sums
+        // regroup exactly, and the hot loop stops round-tripping
+        // through the full-width ledger every step.
+        let mut dep_traffic = TrafficBreakdown::default();
         loop {
             // This step's attention slots, at each member's position
             // `k` tokens ahead of its cursor (cursors advance at the
@@ -2231,10 +2297,10 @@ impl<'a> BatchedSimulation<'a> {
             let mut dep_step = SimTime::ZERO;
             let mut i = 0;
             while i < self.batch.active.len() {
-                let seq = self.requests[self.batch.active[i]].cursor.seq_len() + k;
+                let seq = self.requests.cursor[self.batch.active[i]].seq_len() + k;
                 let mut run = 1usize;
                 while i + run < self.batch.active.len()
-                    && self.requests[self.batch.active[i + run]].cursor.seq_len() + k == seq
+                    && self.requests.cursor[self.batch.active[i + run]].seq_len() + k == seq
                 {
                     run += 1;
                 }
@@ -2242,8 +2308,7 @@ impl<'a> BatchedSimulation<'a> {
                     let op_slot = self.table.n_inv + d;
                     let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
                     dep_step += (cost.latency * self.table.dep_counts[d]) * run as u64;
-                    self.traffic
-                        .absorb_scaled(&cost.traffic, self.table.dep_counts[d] * run as u64);
+                    dep_traffic.absorb_scaled(&cost.traffic, self.table.dep_counts[d] * run as u64);
                 }
                 i += run;
             }
@@ -2264,6 +2329,7 @@ impl<'a> BatchedSimulation<'a> {
                 break;
             }
         }
+        self.traffic.absorb(&dep_traffic);
         // The span's invariant traffic in one bulk booking: `k ×` the
         // shared stream plus `k × batch ×` the per-request share.
         self.traffic.absorb_batch_span(
@@ -2288,13 +2354,13 @@ impl<'a> BatchedSimulation<'a> {
             tb += lat;
             for i in 0..self.batch.active.len() {
                 let id = self.batch.active[i];
-                retire_token(&mut self.requests[id], tb, &mut self.token_latencies);
+                retire_token(&mut self.requests, id, tb, &mut self.token_latencies);
             }
         }
         // Every member's cursor jumps the retired tokens in one shot.
         for i in 0..self.batch.active.len() {
             let id = self.batch.active[i];
-            self.requests[id].cursor.advance_by(k - 1);
+            self.requests.cursor[id].advance_by(k - 1);
         }
         // The final step's boundary is the span-end event. Elided
         // per-position events are accounted into the schedule stamp so
@@ -2343,14 +2409,14 @@ impl<'a> BatchedSimulation<'a> {
             self.batch
                 .active
                 .iter()
-                .map(|&id| self.requests[id].dep_lat[d])
+                .map(|&id| self.requests.dep_lat[id][d])
                 .sum()
         };
         self.busy_track[s].add_interval(now, now + latency);
         self.ev.schedule_op(s, now + latency, BATCH_EVENT);
     }
 
-    fn finish(mut self) -> ServeReport {
+    fn finish(mut self) -> (ServeReport, System) {
         assert!(
             self.pending.is_empty() && self.batch.active.is_empty(),
             "event core drained with work outstanding"
@@ -2363,7 +2429,7 @@ impl<'a> BatchedSimulation<'a> {
             .map_or((0, SimTime::ZERO), |p| (p.priced(), p.busy));
         self.ops_dispatched += prefill_priced * PrefillCost::COMPONENT_OPS;
 
-        build_report(ReportInputs {
+        let report = build_report(ReportInputs {
             policy: SchedulePolicy::ContinuousBatch {
                 max_batch: self.batch.max_batch,
             },
@@ -2385,7 +2451,8 @@ impl<'a> BatchedSimulation<'a> {
             kv_rejections: self.kv_rejections,
             traffic: self.traffic,
             done: self.done,
-        })
+        });
+        (report, self.system)
     }
 }
 

@@ -1,19 +1,16 @@
 //! Structured design-space sweeps (Figure 15 and §VIII-E).
 //!
 //! Design points are independent, so sweeps evaluate them in parallel
-//! across a scoped thread pool (rayon-style `par_iter`, but on
-//! `std::thread::scope` because the build environment is offline and
-//! cannot vendor rayon). Each worker claims points off a shared atomic
-//! counter and writes its result into the point's pre-assigned output
-//! slot, so the returned order — and therefore every downstream figure
-//! — is identical to the sequential evaluation, regardless of thread
-//! scheduling.
+//! through [`sim_core::parallel_map`] — results come back in grid
+//! order, identical to sequential evaluation, regardless of thread
+//! scheduling. (The atomic-claim worker pool used to live here; it was
+//! hoisted into `sim_core::parallel` so the Monte Carlo serving
+//! harness shares the same deterministic fan-out.)
 
 use crate::config::SystemConfig;
 use crate::system::System;
 use llm_workload::{ModelSpec, TokenPlan};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use sim_core::parallel_map;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,33 +80,9 @@ fn evaluate_grid(model: &ModelSpec, grid: &[(usize, usize)], seq_len: usize) -> 
             .collect();
     }
     let plan = TokenPlan::new(model, SystemConfig::custom(grid[0].0, grid[0].1).quant);
-    let plan = &plan;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(grid.len());
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<SweepPoint>>> = Mutex::new(vec![None; grid.len()]);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(ch, chips)) = grid.get(i) else {
-                    break;
-                };
-                // Simulate outside the lock; only the slot write is
-                // serialized.
-                let point = evaluate_planned(plan, SystemConfig::custom(ch, chips), seq_len);
-                slots.lock().expect("sweep worker panicked")[i] = Some(point);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("sweep worker panicked")
-        .into_iter()
-        .map(|p| p.expect("every grid slot evaluated"))
-        .collect()
+    parallel_map(grid, |_, &(ch, chips)| {
+        evaluate_planned(&plan, SystemConfig::custom(ch, chips), seq_len)
+    })
 }
 
 /// Finds the smallest configuration (by total compute cores) in a grid

@@ -401,7 +401,11 @@ impl OpCostCache {
 }
 
 /// The system: configuration plus lazily simulated GeMV latencies.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the whole memoization state — the Monte Carlo
+/// harness warms one system and hands each seeded run its own copy, so
+/// per-seed cache counters stay independent and deterministic.
+#[derive(Debug, Clone)]
 pub struct System {
     cfg: SystemConfig,
     npu: NpuModel,
@@ -436,6 +440,15 @@ impl System {
     /// The memoized op costs accumulated so far.
     pub fn op_cost_cache(&self) -> &OpCostCache {
         &self.op_cache
+    }
+
+    /// Zeroes both caches' hit/miss counters while keeping their
+    /// memoized entries. A warmed system handed to a measurement run
+    /// starts counting from zero, so the run's reported hit/miss split
+    /// reflects its own lookups only.
+    pub fn reset_cache_stats(&mut self) {
+        self.gemv_cache.stats.reset();
+        self.op_cache.stats.reset();
     }
 
     /// Simulates (or recalls) one weight GeMV of shape `rows × cols`.

@@ -39,11 +39,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use parallel::{parallel_map, parallel_map_workers};
 pub use rng::SplitMix64;
-pub use stats::{Aggregate, BusyTracker, CacheStats, Counter, Samples};
+pub use stats::{Aggregate, BusyTracker, CacheStats, Counter, Estimate, Samples};
 pub use time::{transfer_time, SimTime};

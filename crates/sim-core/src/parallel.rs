@@ -1,0 +1,129 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! Several layers of the simulator fan embarrassingly parallel work
+//! across cores: design-space sweeps evaluate independent hardware
+//! points, and the Monte Carlo serving harness runs independent seeded
+//! scenarios. Both need the *same* guarantee — results identical to
+//! sequential evaluation, in item order, regardless of how threads are
+//! scheduled — so the pattern lives here once instead of being
+//! hand-rolled per call site.
+//!
+//! The implementation is rayon-style `par_iter` on
+//! [`std::thread::scope`] (the build environment is offline and cannot
+//! vendor rayon): workers claim items off a shared atomic counter and
+//! write each result into the item's pre-assigned output slot. Output
+//! order is therefore positional, never completion-ordered, and a run
+//! with one worker is bit-identical to a run with many.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::parallel_map;
+//!
+//! let squares = parallel_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` in parallel on up to
+/// [`std::thread::available_parallelism`] scoped threads, returning
+/// results in item order. `f` receives `(index, &item)` so callers can
+/// key per-item state (seeds, labels) off the position.
+///
+/// Equivalent to `items.iter().enumerate().map(...).collect()` — the
+/// thread pool changes wall-clock time only, never the result.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    parallel_map_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (at least 1 is
+/// spawned; more workers than items is clamped). Exposed so callers
+/// can pin determinism tests to specific thread counts.
+pub fn parallel_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        // Inline fast path: nothing to coordinate. Identical results by
+        // construction — the threaded path below writes positionally.
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                // Work outside the lock; only the slot write is
+                // serialized.
+                let result = f(i, item);
+                slots.lock().expect("parallel_map worker panicked")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("parallel_map worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every item evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = parallel_map_workers(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 3));
+        for workers in [2, 4, 16] {
+            let par = parallel_map_workers(&items, workers, |i, &x| x.wrapping_mul(i as u64 + 3));
+            assert_eq!(par, seq, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map_workers(&[1u32, 2], 64, |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(parallel_map_workers(&[5u32], 0, |_, &x| x), vec![5]);
+    }
+}

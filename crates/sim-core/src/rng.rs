@@ -100,6 +100,23 @@ impl SplitMix64 {
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// Derives `n` decorrelated stream seeds from a root seed.
+    ///
+    /// This is the seed-hygiene primitive for Monte Carlo fan-out: each
+    /// returned seed is a successive output of a root-seeded generator,
+    /// so the derived streams start from well-mixed, pairwise-unrelated
+    /// states. Naive `root + i` seeding would hand SplitMix64 adjacent
+    /// states, which by construction walk the *same* underlying sequence
+    /// offset by one step — stream `i+1` is stream `i` shifted, i.e.
+    /// maximally correlated. Mixing through `next_u64` breaks that.
+    ///
+    /// The same root always yields the same seed vector, so a whole
+    /// Monte Carlo batch is reproducible from one number.
+    pub fn split_seeds(root: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(root);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +187,36 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn split_seeds_reproducible_and_distinct() {
+        let a = SplitMix64::split_seeds(0xC0FFEE, 16);
+        let b = SplitMix64::split_seeds(0xC0FFEE, 16);
+        assert_eq!(a, b, "same root must reproduce the seed vector");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "derived seeds must be distinct");
+        let c = SplitMix64::split_seeds(0xC0FFEF, 16);
+        assert_ne!(a, c, "different roots must give different streams");
+    }
+
+    #[test]
+    fn split_seeds_are_not_adjacent_states() {
+        // The failure mode split_seeds exists to prevent: `root + i`
+        // seeding makes stream i+1 a one-step shift of stream i.
+        let seeds = SplitMix64::split_seeds(42, 4);
+        for w in seeds.windows(2) {
+            assert_ne!(w[1], w[0].wrapping_add(1), "adjacent raw states");
+            // Stream from seed w[0], advanced one step, must not equal
+            // the stream from seed w[1].
+            let mut x = SplitMix64::new(w[0]);
+            x.next_u64();
+            let shifted = x.next_u64();
+            let mut y = SplitMix64::new(w[1]);
+            assert_ne!(y.next_u64(), shifted);
+        }
     }
 
     #[test]

@@ -142,6 +142,17 @@ impl CacheStats {
         }
         self.hits as f64 / self.lookups() as f64
     }
+
+    /// Zeroes both counters, keeping the cache contents they described.
+    ///
+    /// Used when a pre-warmed memo cache is handed to a fresh
+    /// measurement run: the entries stay (that is the point of
+    /// warming), but the lookups that created them should not leak into
+    /// the new run's report.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 /// A labelled monotone counter (bytes moved, requests served, ops run).
@@ -328,6 +339,68 @@ impl FromIterator<f64> for Samples {
     }
 }
 
+/// A mean with dispersion: sample count, mean, sample standard
+/// deviation, and a 95% confidence half-width for the mean.
+///
+/// This is what a Monte Carlo harness reports per metric: run the same
+/// scenario over N decorrelated seeds, collect one scalar per seed
+/// (throughput, TTFT p99, ...), and summarise the spread. The CI uses
+/// the normal approximation (`1.96 · s/√n`), which is the standard
+/// reporting convention for simulation batches of this size; for very
+/// small N it understates slightly versus Student's t.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::Estimate;
+///
+/// let e = Estimate::from_samples(&[10.0, 12.0, 11.0, 13.0]);
+/// assert_eq!(e.n, 4);
+/// assert!((e.mean - 11.5).abs() < 1e-12);
+/// assert!(e.ci95 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Estimate {
+    /// Number of samples.
+    pub n: u64,
+    /// Sample mean (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation, Bessel-corrected (0 when n < 2).
+    pub stddev: f64,
+    /// 95% confidence half-width for the mean: `1.96 · stddev / √n`
+    /// (0 when n < 2).
+    pub ci95: f64,
+}
+
+impl Estimate {
+    /// Summarises a slice of samples. Summation is left-to-right in
+    /// slice order, so the result is deterministic for a given input
+    /// ordering.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len() as u64;
+        if n == 0 {
+            return Self::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Estimate {
+                n,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        Estimate {
+            n,
+            mean,
+            stddev,
+            ci95: 1.96 * stddev / (n as f64).sqrt(),
+        }
+    }
+}
+
 impl Extend<f64> for Aggregate {
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for x in iter {
@@ -439,6 +512,47 @@ mod tests {
         let mut s = Samples::new();
         assert_eq!(s.percentile(50.0), None);
         assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn estimate_mean_stddev_ci() {
+        let e = Estimate::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(e.n, 8);
+        assert!((e.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        let expected_sd = (32.0f64 / 7.0).sqrt();
+        assert!((e.stddev - expected_sd).abs() < 1e-12);
+        assert!((e.ci95 - 1.96 * expected_sd / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_degenerate_sizes() {
+        let empty = Estimate::from_samples(&[]);
+        assert_eq!(empty, Estimate::default());
+        let one = Estimate::from_samples(&[3.5]);
+        assert_eq!(one.n, 1);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn estimate_constant_samples_have_zero_spread() {
+        let e = Estimate::from_samples(&[7.0; 16]);
+        assert_eq!(e.mean, 7.0);
+        assert_eq!(e.stddev, 0.0);
+        assert_eq!(e.ci95, 0.0);
+    }
+
+    #[test]
+    fn cache_stats_reset_zeroes_counters() {
+        let mut c = CacheStats::new();
+        c.hit();
+        c.miss();
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.lookups(), 0);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! where one weight stream per batch step lifts throughput well past
 //! the per-request FCFS plateau until the in-flash compute ceiling
 //! binds (~2.9× here), with KV-capacity admission control gating what
-//! joins the batch. Finishes with an open-loop Poisson trace, the
-//! classic serving study.
+//! joins the batch. Then an open-loop Poisson trace, the classic
+//! serving study — and finally the same Poisson scenario as a Monte
+//! Carlo batch across seeded arrival traces, turning the single-draw
+//! report into mean ± 95% CI estimates.
 //!
 //! ```text
 //! cargo run --release --example serving_70b [-- <tokens_per_request>]
@@ -142,4 +144,17 @@ fn main() {
         println!("\n[{policy:?}]");
         println!("{}", rep.summary());
     }
+
+    // The same Poisson scenario as a distribution, not a draw: 8
+    // arrival traces derived from one root seed, every seed replayed
+    // on a clone of one pre-warmed pricing system. The CI half-widths
+    // are what the single-trace reports above cannot give.
+    println!("\nMonte Carlo across 8 seeded arrival traces (batched policy):");
+    let mc = MonteCarlo::new(8, 2024);
+    let report = mc.run(
+        &engine,
+        SchedulePolicy::ContinuousBatch { max_batch: 4 },
+        |seed| ArrivalTrace::poisson(0.4, 8, shape, seed),
+    );
+    println!("{}", report.summary());
 }

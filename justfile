@@ -14,10 +14,12 @@ bench:
 
 # Serving hot-path benchmark: measures simulated-tokens-per-wall-second
 # on the 70B serving scenario — round-robin, batched, prefill-enabled,
-# and the long-decode coalesced variant (span fast-forwarding vs the
-# per-op reference loop) — and records the perf trajectory in
-# BENCH_serving.json (compare against the committed numbers before and
-# after touching the serve/system hot path).
+# the long-decode coalesced variant (span fast-forwarding vs the
+# per-op reference loop), and the Monte Carlo batch (32 seeded traces
+# on one pre-warmed pricing system, aggregate tokens/wall-sec) — and
+# records the perf trajectory in BENCH_serving.json (compare against
+# the committed numbers before and after touching the serve/system hot
+# path).
 perf:
     cargo run --release -p bench --bin serve_throughput
 

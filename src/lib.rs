@@ -29,8 +29,8 @@ pub use tiling;
 pub mod prelude {
     pub use baselines::{BaselineError, FlexGen, MlcLlm};
     pub use cambricon_llm::{
-        EnergyModel, PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode, System,
-        SystemConfig,
+        EnergyModel, MonteCarlo, MonteCarloReport, PrefillMode, SchedulePolicy, ServeEngine,
+        ServeReport, SpanMode, System, SystemConfig,
     };
     pub use flash_sim::{SlicePolicy, Topology};
     pub use llm_workload::{zoo, ArrivalTrace, Quant, RequestShape};

@@ -1,0 +1,116 @@
+//! Integration tests for the Monte Carlo serving harness: thread-count
+//! determinism, seed hygiene, and estimator consistency.
+//!
+//! The harness's contract is that an aggregated [`MonteCarloReport`] —
+//! per-seed [`ServeReport`]s included, cache counters and all — is a
+//! pure function of `(engine, policy, root seed, trace_fn)`. Thread
+//! count is a wall-clock knob only. These tests pin that across every
+//! scheduling policy and prefill mode, forcing worker counts explicitly
+//! because `available_parallelism()` may be 1 on a constrained runner.
+
+use cambricon_llm_repro::prelude::*;
+use sim_core::SplitMix64;
+
+fn engine(prefill: PrefillMode) -> ServeEngine {
+    ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b()).with_prefill(prefill)
+}
+
+fn shape() -> RequestShape {
+    RequestShape::new(96, 6)
+}
+
+fn trace(seed: u64) -> ArrivalTrace {
+    ArrivalTrace::poisson(120.0, 5, shape(), seed)
+}
+
+#[test]
+fn report_identical_across_thread_counts_all_policies_and_prefill_modes() {
+    let policies = [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::ContinuousBatch { max_batch: 4 },
+    ];
+    let modes = [PrefillMode::Off, PrefillMode::Modeled];
+    for policy in policies {
+        for mode in modes {
+            let eng = engine(mode);
+            let run = |threads: usize| {
+                MonteCarlo::new(6, 0xABCDE)
+                    .with_threads(threads)
+                    .run(&eng, policy, trace)
+            };
+            let single = run(1);
+            for threads in [2, 4, 8] {
+                let multi = run(threads);
+                assert_eq!(
+                    single, multi,
+                    "{policy:?}/{mode:?}: report differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_seed_reports_match_standalone_runs_modulo_cache_counters() {
+    // Each seeded run inside the batch must be the run you'd get from
+    // `ServeEngine::run` on that seed's trace — the shared warm system
+    // changes how much pricing work happens, never what is simulated.
+    let eng = engine(PrefillMode::Modeled);
+    let policy = SchedulePolicy::ContinuousBatch { max_batch: 4 };
+    let mc = MonteCarlo::new(4, 99).with_threads(2);
+    let rep = mc.run(&eng, policy, trace);
+    for (seed, inside) in SplitMix64::split_seeds(99, 4).iter().zip(&rep.per_seed) {
+        let standalone = eng.run(&trace(*seed), policy);
+        assert_eq!(standalone.makespan, inside.makespan);
+        assert_eq!(standalone.tokens_served, inside.tokens_served);
+        assert_eq!(standalone.requests, inside.requests);
+        assert_eq!(standalone.traffic, inside.traffic);
+        assert_eq!(standalone.mean_batch_occupancy, inside.mean_batch_occupancy);
+    }
+}
+
+#[test]
+fn seed_hygiene_distinct_streams_and_exact_reproduction() {
+    // Distinct derived seeds must yield genuinely different arrival
+    // processes (different makespans), and the same root must
+    // reproduce the whole batch exactly.
+    let eng = engine(PrefillMode::Off);
+    let a = MonteCarlo::new(5, 7).run(&eng, SchedulePolicy::Fcfs, trace);
+    let b = MonteCarlo::new(5, 7).run(&eng, SchedulePolicy::Fcfs, trace);
+    assert_eq!(a, b, "same root seed must reproduce the batch bit for bit");
+
+    let mut makespans: Vec<_> = a.per_seed.iter().map(|r| r.makespan).collect();
+    makespans.sort_unstable();
+    makespans.dedup();
+    assert!(
+        makespans.len() > 1,
+        "derived seeds produced identical traces — stream splitting is broken"
+    );
+
+    let c = MonteCarlo::new(5, 8).run(&eng, SchedulePolicy::Fcfs, trace);
+    assert_ne!(
+        a.seeds, c.seeds,
+        "different roots must derive different seeds"
+    );
+}
+
+#[test]
+fn estimates_aggregate_the_per_seed_reports() {
+    let eng = engine(PrefillMode::Off);
+    let rep = MonteCarlo::new(8, 3).run(&eng, SchedulePolicy::RoundRobin, trace);
+    assert_eq!(rep.per_seed.len(), 8);
+    assert_eq!(rep.throughput.n, 8);
+    let mean: f64 = rep.per_seed.iter().map(|r| r.tokens_per_sec).sum::<f64>() / 8.0;
+    assert!((rep.throughput.mean - mean).abs() < 1e-9);
+    assert!(rep.throughput.ci95 >= 0.0);
+    assert_eq!(
+        rep.tokens_served,
+        rep.per_seed.iter().map(|r| r.tokens_served).sum::<u64>()
+    );
+    // Non-batched policy: occupancy is identically zero, so the spread
+    // collapses too.
+    assert_eq!(rep.batch_occupancy.mean, 0.0);
+    assert_eq!(rep.batch_occupancy.stddev, 0.0);
+    assert!(!rep.summary().is_empty());
+}
