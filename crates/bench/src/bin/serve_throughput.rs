@@ -23,7 +23,13 @@
 //!    seed, so the wall rate is *aggregate* simulated tokens (all
 //!    seeds) per wall-second — the harness's figure of merit — plus
 //!    the cross-seed estimates (mean ± 95% CI) the batch exists to
-//!    produce.
+//!    produce;
+//! 6. **reliability** (`--faults <age-days>`) — the same 70B fleet
+//!    under fault injection: a wear ladder (fresh, ¼, ½, and the full
+//!    age) recording goodput vs. wear, then the [`WearTrajectory`]
+//!    driver replaying days of traffic with read-disturb feedback
+//!    until deadline goodput falls below half the fresh value —
+//!    the days-until-SLO-violation figure.
 //!
 //! Each variant reports best/mean/**median** over the iterations —
 //! the raw arrays routinely carry ~35% scheduler outliers, which the
@@ -33,13 +39,16 @@
 //!
 //! ```text
 //! serve_throughput [--iters N] [--clients N] [--tokens N]
-//!                  [--long-tokens N] [--monte-carlo N] [--out PATH]
+//!                  [--long-tokens N] [--monte-carlo N]
+//!                  [--faults AGE_DAYS] [--out PATH]
 //! ```
 
 use bench::Json;
 use cambricon_llm::montecarlo::MonteCarlo;
+use cambricon_llm::reliability::{FaultConfig, FaultMode, WearTrajectory};
 use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode};
 use cambricon_llm::SystemConfig;
+use flash_sim::FlashAge;
 use llm_workload::{zoo, ArrivalTrace, RequestShape};
 use std::time::Instant;
 
@@ -49,6 +58,7 @@ struct Args {
     tokens: usize,
     long_tokens: usize,
     monte_carlo: usize,
+    faults: Option<f64>,
     out: String,
 }
 
@@ -59,6 +69,7 @@ fn parse_args() -> Args {
         tokens: 32,
         long_tokens: 512,
         monte_carlo: 32,
+        faults: None,
         out: "BENCH_serving.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -83,6 +94,9 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--monte-carlo: integer")
             }
+            "--faults" => {
+                args.faults = Some(value("--faults").parse().expect("--faults: age in days"))
+            }
             "--out" => args.out = value("--out"),
             other => {
                 eprintln!("unknown flag {other}; see the doc comment for usage");
@@ -93,7 +107,122 @@ fn parse_args() -> Args {
     assert!(args.iters >= 1, "--iters must be at least 1");
     assert!(args.long_tokens >= 1, "--long-tokens must be at least 1");
     assert!(args.monte_carlo >= 1, "--monte-carlo must be at least 1");
+    assert!(
+        !args.faults.is_some_and(|d| d <= 0.0),
+        "--faults must be a positive number of days"
+    );
     args
+}
+
+/// The wear ladder + trajectory of the reliability variant
+/// (`--faults`): fault-injected runs of the base fleet at increasing
+/// age, then the wear-trajectory driver's days-until-SLO figure.
+fn reliability_section(
+    age_days: f64,
+    cfg: SystemConfig,
+    model: &llm_workload::ModelSpec,
+    trace: &ArrivalTrace,
+    warm: &ServeReport,
+) -> Json {
+    // A device at `day` days of service: retention plus ~8 P/E
+    // cycles/day of background write traffic (3K cycles ≈ one year).
+    let age_at = |day: f64| FlashAge {
+        pe_cycles: 100 + (day * 8.0) as u32,
+        retention_days: 0.5 + day,
+    };
+    // Deadline: 2x the worst fault-free request latency. A fresh chip
+    // meets it with margin; a worn one sheds — which is exactly the
+    // goodput-vs-wear signal the ladder records.
+    let worst = warm
+        .requests
+        .iter()
+        .map(|r| r.finished - r.arrived)
+        .max()
+        .expect("fault-free run served no requests");
+    let deadline = worst * 2;
+    let base_fc = FaultConfig::default().with_deadlines(None, Some(deadline));
+    println!(
+        "reliability: wear ladder to {age_days} days, total deadline {:.2} s",
+        deadline.as_secs_f64()
+    );
+    let mut rungs = Vec::new();
+    let mut fresh_goodput = 0.0;
+    for day in [0.0, age_days / 4.0, age_days / 2.0, age_days] {
+        let age = age_at(day);
+        let fc = FaultConfig { age, ..base_fc };
+        let engine = ServeEngine::new(cfg, model.clone()).with_faults(FaultMode::Injected(fc));
+        let rep = engine.run(trace, SchedulePolicy::RoundRobin);
+        let rel = rep.reliability;
+        if day == 0.0 {
+            fresh_goodput = rel.deadline_goodput_tps;
+        }
+        println!(
+            "  day {day:7.1}: rber {:.2e}, {:.2} tok/s, goodput {:.2} tok/s, \
+             {} rereads, {} uncorrectable, {} sheds",
+            rel.rber,
+            rep.tokens_per_sec,
+            rel.deadline_goodput_tps,
+            rel.page_rereads,
+            rel.uncorrectable_events,
+            rel.total_sheds(),
+        );
+        rungs.push(
+            Json::obj()
+                .field("day", Json::float(day, 1))
+                .field("rber_ppm", Json::float(rel.rber * 1e6, 3))
+                .field("sim_tokens_per_sec", Json::float(rep.tokens_per_sec, 4))
+                .field("goodput_tps", Json::float(rel.deadline_goodput_tps, 4))
+                .field("page_rereads", rel.page_rereads)
+                .field("uncorrectable_events", rel.uncorrectable_events)
+                .field("sheds", rel.total_sheds()),
+        );
+    }
+    // The trajectory: replay the trace as a full day of traffic per
+    // simulated day, with read-disturb wear feedback, until deadline
+    // goodput falls below half the fresh value.
+    let wt = WearTrajectory {
+        start: FlashAge::fresh(),
+        days_per_step: (age_days / 2.0).max(1.0),
+        max_days: age_days * 8.0,
+        traffic_scale: 86_400.0 / warm.makespan.as_secs_f64().max(1e-9),
+        bytes_per_pe: 1 << 50,
+        slo_goodput_tps: fresh_goodput * 0.5,
+        base: base_fc,
+    };
+    let wear = wt.run(
+        cfg,
+        model,
+        PrefillMode::Off,
+        trace,
+        SchedulePolicy::RoundRobin,
+    );
+    print!(
+        "wear trajectory (SLO {:.2} tok/s):\n{}",
+        wt.slo_goodput_tps,
+        wear.summary()
+    );
+    let days_until: Json = match wear.days_until_slo {
+        Some(d) => Json::float(d, 1),
+        None => "survived the horizon".into(),
+    };
+    match wear.days_until_slo {
+        Some(d) => println!("days until SLO violation: {d:.1}"),
+        None => println!("SLO held for the whole {:.0}-day horizon", wt.max_days),
+    }
+    Json::obj()
+        .field("age_days", Json::float(age_days, 1))
+        .field("deadline_s", Json::float(deadline.as_secs_f64(), 3))
+        .field("ladder", Json::array(rungs))
+        .field(
+            "wear_trajectory",
+            Json::obj()
+                .field("slo_goodput_tps", Json::float(wt.slo_goodput_tps, 4))
+                .field("days_per_step", Json::float(wt.days_per_step, 1))
+                .field("max_days", Json::float(wt.max_days, 1))
+                .field("traffic_scale", Json::float(wt.traffic_scale, 1))
+                .field("steps_run", wear.points.len())
+                .field("days_until_slo", days_until),
+        )
 }
 
 /// Wall-clock statistics of one measured variant, in
@@ -423,6 +552,13 @@ fn main() {
                     ),
             ),
         );
+    let doc = match args.faults {
+        Some(age_days) => doc.field(
+            "reliability",
+            reliability_section(age_days, cfg, &model, &trace, &warm),
+        ),
+        None => doc,
+    };
     std::fs::write(&args.out, format!("{doc}\n")).expect("write benchmark json");
     println!("wrote {}", args.out);
 }

@@ -13,7 +13,9 @@
 //! * [`energy`] — the Figure 16 data-movement energy model;
 //! * [`cost`] / [`area`] — Tables I/IV/V (BOM cost, compute-core area);
 //! * [`roofline`] — Figures 1(a)/3(a);
-//! * [`prefill`] — prefill/TTFT model (extension).
+//! * [`prefill`] — prefill/TTFT model (extension);
+//! * [`reliability`] — fault-injected serving, deadlines, and wear
+//!   trajectories (extension).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub mod energy;
 pub mod functional;
 pub mod montecarlo;
 pub mod prefill;
+pub mod reliability;
 pub mod roofline;
 pub mod serve;
 pub mod sweep;
@@ -49,7 +52,13 @@ pub use cost::{cambricon_bom, table_i, traditional_bom, Bom, Prices};
 pub use energy::EnergyModel;
 pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
 pub use montecarlo::{MonteCarlo, MonteCarloReport};
-pub use prefill::{prefill, PrefillError, PrefillReport};
+pub use prefill::{
+    expected_read_inflation, prefill, prefill_with_faults, PrefillError, PrefillReport,
+};
+pub use reliability::{
+    page_fail_prob, FaultConfig, FaultMode, ReliabilitySummary, WearPoint, WearReport,
+    WearTrajectory,
+};
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
 pub use serve::{
     PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport, SpanMode,

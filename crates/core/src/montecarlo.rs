@@ -186,6 +186,16 @@ pub struct MonteCarloReport {
     pub batch_occupancy: Estimate,
     /// Per-seed KV-capacity admission rejections.
     pub kv_rejections: Estimate,
+    /// Per-seed ECC reread count (zero with faults off).
+    pub page_rereads: Estimate,
+    /// Per-seed uncorrectable-read events (zero with faults off).
+    pub uncorrectable_events: Estimate,
+    /// Per-seed deadline sheds, TTFT and total combined (zero with
+    /// faults off or no deadlines configured).
+    pub deadline_sheds: Estimate,
+    /// Per-seed deadline-goodput (tokens/s from requests that met
+    /// their deadlines; zero with faults off).
+    pub goodput_tps: Estimate,
     /// The full per-seed reports, in seed order.
     pub per_seed: Vec<ServeReport>,
 }
@@ -217,6 +227,10 @@ impl MonteCarloReport {
             token_latency_mean_s: est(&|r| r.mean_token_latency_s),
             batch_occupancy: est(&|r| r.mean_batch_occupancy),
             kv_rejections: est(&|r| r.kv_rejections as f64),
+            page_rereads: est(&|r| r.reliability.page_rereads as f64),
+            uncorrectable_events: est(&|r| r.reliability.uncorrectable_events as f64),
+            deadline_sheds: est(&|r| r.reliability.total_sheds() as f64),
+            goodput_tps: est(&|r| r.reliability.deadline_goodput_tps),
             seeds,
             per_seed,
         }
@@ -226,7 +240,7 @@ impl MonteCarloReport {
     pub fn summary(&self) -> String {
         let pm =
             |e: &Estimate, scale: f64| format!("{:.2} ± {:.2}", e.mean * scale, e.ci95 * scale);
-        format!(
+        let mut out = format!(
             "{} seeds (root {:#x}) under {:?} / {:?}: {} requests, {} tokens\n\
              throughput: {} tok/s\n\
              ttft: p50 {} ms, p99 {} ms\n\
@@ -246,7 +260,23 @@ impl MonteCarloReport {
             pm(&self.token_latency_mean_s, 1e3),
             pm(&self.batch_occupancy, 1.0),
             pm(&self.kv_rejections, 1.0),
-        )
+        );
+        // Reliability estimates only when faults actually ran: a batch
+        // with faults off has identically-zero estimates here.
+        if self.page_rereads.mean > 0.0
+            || self.uncorrectable_events.mean > 0.0
+            || self.deadline_sheds.mean > 0.0
+            || self.goodput_tps.mean > 0.0
+        {
+            out.push_str(&format!(
+                "\nreliability: rereads {} | uncorrectable {} | sheds {} | goodput {} tok/s",
+                pm(&self.page_rereads, 1.0),
+                pm(&self.uncorrectable_events, 1.0),
+                pm(&self.deadline_sheds, 1.0),
+                pm(&self.goodput_tps, 1.0),
+            ));
+        }
+        out
     }
 }
 

@@ -153,11 +153,12 @@
 //! ```
 
 use crate::config::SystemConfig;
+use crate::reliability::{FaultMode, FaultRun, ReliabilitySummary};
 use crate::system::{OpClass, PrefillCost, System, TrafficBreakdown};
 use llm_workload::kv::kv_bytes_per_token;
 use llm_workload::{ArrivalTrace, ModelSpec, OpCursor, PrefillPlan, RequestShape, TokenPlan};
 use npu_sim::KvCache;
-use sim_core::{Aggregate, BusyTracker, Samples, SimTime};
+use sim_core::{Aggregate, BusyTracker, Samples, SimTime, SplitMix64};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -401,6 +402,10 @@ pub struct ServeReport {
     pub kv_rejections: u64,
     /// Total traffic across all requests.
     pub traffic: TrafficBreakdown,
+    /// Fault-injection counters ([`crate::reliability`]): rereads,
+    /// uncorrectable events, degradation, deadline sheds, and goodput.
+    /// All zero (the `Default`) when the run had [`FaultMode::Off`].
+    pub reliability: ReliabilitySummary,
     /// Per-request summaries, in completion order.
     pub requests: Vec<RequestReport>,
 }
@@ -414,7 +419,7 @@ impl ServeReport {
         } else {
             0.0
         };
-        format!(
+        let mut out = format!(
             "served {} requests / {} tokens in {:.2} s ({:.2} tok/s)\n\
              token latency: p50 {:.0} ms, p99 {:.0} ms, mean {:.0} ms\n\
              ttft (arrival-relative): p50 {:.0} ms, p99 {:.0} ms, mean {:.0} ms\n\
@@ -448,7 +453,25 @@ impl ServeReport {
             self.mean_batch_occupancy,
             self.peak_batch_occupancy,
             self.kv_rejections,
-        )
+        );
+        if self.reliability != ReliabilitySummary::default() {
+            let r = &self.reliability;
+            out.push_str(&format!(
+                "\nreliability: rber {:.2e}, rereads {}, uncorrectable {}, degraded {} chips ({:.0}% bw lost)\n\
+                 deadlines: {} ttft timeouts, {} sheds | goodput {} reqs / {} tokens ({:.2} tok/s)",
+                r.rber,
+                r.page_rereads,
+                r.uncorrectable_events,
+                r.degraded_chips,
+                r.degraded_bandwidth_fraction * 100.0,
+                r.ttft_timeouts,
+                r.deadline_sheds,
+                r.goodput_requests,
+                r.goodput_tokens,
+                r.deadline_goodput_tps,
+            ));
+        }
+        out
     }
 }
 
@@ -510,6 +533,7 @@ pub struct ServeEngine {
     prefill_plan: PrefillPlan,
     prefill: PrefillMode,
     span: SpanMode,
+    faults: FaultMode,
 }
 
 impl ServeEngine {
@@ -526,6 +550,7 @@ impl ServeEngine {
             prefill_plan,
             prefill: PrefillMode::Off,
             span: SpanMode::default(),
+            faults: FaultMode::Off,
         }
     }
 
@@ -560,6 +585,26 @@ impl ServeEngine {
     /// The active span-coalescing mode.
     pub fn span_mode(&self) -> SpanMode {
         self.span
+    }
+
+    /// Sets the fault-injection mode for every subsequent run.
+    /// [`FaultMode::Off`] (the default) is bit-for-bit inert; with
+    /// [`FaultMode::Injected`] every run samples seeded NAND read
+    /// faults, enforces the configured deadlines, and fills
+    /// [`ServeReport::reliability`].
+    ///
+    /// Fault injection disables span coalescing for the per-op
+    /// policies (fault sampling is causal: each token's faults must be
+    /// drawn before the next arrival decision), so faulted per-op runs
+    /// pay the per-op event cadence. The batched loop keeps its spans.
+    pub fn with_faults(mut self, mode: FaultMode) -> Self {
+        self.faults = mode;
+        self
+    }
+
+    /// The active fault-injection mode.
+    pub fn fault_mode(&self) -> FaultMode {
+        self.faults
     }
 
     /// The system configuration this engine simulates.
@@ -805,6 +850,17 @@ struct RequestPool {
     /// Monotone stamp of the last time a resource scheduled each
     /// request (round-robin recency key).
     last_scheduled: Vec<u64>,
+    /// Per-request fault stream, forked from `fault_root` at push time
+    /// (empty-state generators when faults are off — never drawn from).
+    fault_rng: Vec<SplitMix64>,
+    /// Fault-added picoseconds of the request's current token, consumed
+    /// by its first flash dispatch (always 0 with faults off).
+    fault_extra: Vec<u64>,
+    /// Root generator the per-request streams fork from; `None` (the
+    /// default) when faults are off. Seeded before the trace loads so
+    /// stream assignment follows push order — deterministic and
+    /// policy-independent.
+    fault_root: Option<SplitMix64>,
     /// The boundary-only half of each request's state.
     cold: Vec<ColdRequest>,
 }
@@ -839,6 +895,11 @@ impl RequestPool {
         self.token_started.push(arrived);
         self.dep_lat.push([SimTime::ZERO; MAX_DEP_SLOTS]);
         self.last_scheduled.push(0);
+        self.fault_rng.push(match &mut self.fault_root {
+            Some(root) => root.fork(),
+            None => SplitMix64::new(0),
+        });
+        self.fault_extra.push(0);
         self.cold.push(ColdRequest {
             shape,
             arrived,
@@ -1016,6 +1077,8 @@ struct Simulation<'a> {
     kv_rejections: u64,
     /// Most tokens one span may coalesce (0 = per-op stepping).
     span_cap: usize,
+    /// Fault-injection state; `None` when [`FaultMode::Off`].
+    faults: Option<FaultRun>,
 }
 
 /// Shared prefill-pricing state of one simulation run.
@@ -1177,6 +1240,7 @@ fn begin_token(
     table: &mut PlanTable,
     traffic: &mut TrafficBreakdown,
     requests: &mut RequestPool,
+    faults: &mut Option<FaultRun>,
     id: usize,
 ) {
     price_invariant(system, plan, table);
@@ -1187,6 +1251,18 @@ fn begin_token(
         let cost = system.op_cost(&plan.slot_op(op_slot, seq));
         requests.dep_lat[id][d] = cost.latency;
         traffic.absorb_scaled(&cost.traffic, plan.slot_count(op_slot) as u64);
+    }
+    // Fault sampling at token granularity: the token's NAND weight
+    // stream is the page-read window, drawn from the request's own
+    // stream so reports are independent of interleaving order. The
+    // extra time lands on the token's first flash dispatch.
+    if let Some(f) = faults {
+        let extra = f.window_extra(
+            table.inv_stream_traffic.nand_array_bytes,
+            table.solo_flash_lat.as_picos(),
+            &mut requests.fault_rng[id],
+        );
+        requests.fault_extra[id] = extra;
     }
 }
 
@@ -1207,6 +1283,38 @@ fn retire_token(requests: &mut RequestPool, id: usize, tb: SimTime, token_latenc
     if first.is_none() {
         *first = Some(tb);
     }
+}
+
+/// Deadline check at a token boundary, shared by both event loops:
+/// returns whether the in-flight request `id` must be shed at `now`,
+/// updating the fault counters. Checks are strict (`>`): a request
+/// finishing exactly on its deadline meets it. A request whose tokens
+/// are all done is never shed — late completions are penalized through
+/// goodput scoring instead, so the completion path stays the only exit
+/// for finished work.
+fn deadline_shed(f: &mut FaultRun, requests: &RequestPool, id: usize, now: SimTime) -> bool {
+    if requests.remaining[id] == 0 {
+        return false;
+    }
+    let elapsed = now.saturating_sub(requests.cold[id].arrived);
+    // The TTFT check fires exactly once, at the first token's boundary.
+    if requests.tokens_done(id) == 1 {
+        if let Some(dl) = f.ttft_deadline() {
+            if elapsed > dl {
+                f.ttft_timeouts += 1;
+                f.shed_tokens += requests.tokens_done(id) as u64;
+                return true;
+            }
+        }
+    }
+    if let Some(dl) = f.total_deadline() {
+        if elapsed > dl {
+            f.deadline_sheds += 1;
+            f.shed_tokens += requests.tokens_done(id) as u64;
+            return true;
+        }
+    }
+    false
 }
 
 /// Span fast-forwarding for the per-op loops: coalesces a run of whole
@@ -1344,8 +1452,9 @@ impl<'a> Simulation<'a> {
         engine: &'a ServeEngine,
         trace: &ArrivalTrace,
         policy: SchedulePolicy,
-        system: System,
+        mut system: System,
     ) -> Self {
+        let faults = FaultRun::for_engine(&engine.faults, &engine.cfg, &mut system);
         let mut sim = Simulation {
             system,
             plan: &engine.plan,
@@ -1366,8 +1475,20 @@ impl<'a> Simulation<'a> {
             first_arrival: None,
             kv_max_context: kv_cache(engine).max_tokens(),
             kv_rejections: 0,
-            span_cap: engine.span.cap(),
+            // Fault sampling is causal (each token's faults are drawn
+            // and spent before the next scheduling decision), so solo
+            // spans — which price tokens speculatively — are disabled
+            // under fault injection.
+            span_cap: if faults.is_some() {
+                0
+            } else {
+                engine.span.cap()
+            },
+            faults,
         };
+        if let Some(f) = &sim.faults {
+            sim.requests.fault_root = Some(SplitMix64::new(f.seed()));
+        }
         let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
         sim.client_remaining = remaining;
         sim.closed_shape = shape;
@@ -1402,6 +1523,7 @@ impl<'a> Simulation<'a> {
                 kv_max_context,
                 kv_rejections,
                 span_cap,
+                faults,
                 ..
             } = &mut self;
             let plan: &TokenPlan = plan;
@@ -1466,7 +1588,7 @@ impl<'a> Simulation<'a> {
                             );
                         } else {
                             requests.phase[id] = Phase::Decoding;
-                            begin_token(system, plan, table, traffic, requests, id);
+                            begin_token(system, plan, table, traffic, requests, faults, id);
                             ready.enqueue(
                                 slot(table.classes[requests.cursor[id].index()]),
                                 ready_key(policy, requests, id),
@@ -1484,7 +1606,7 @@ impl<'a> Simulation<'a> {
                         // prompt is resident, decode begins.
                         requests.phase[id] = Phase::Decoding;
                         requests.cold[id].prefill_end = Some(now);
-                        begin_token(system, plan, table, traffic, requests, id);
+                        begin_token(system, plan, table, traffic, requests, faults, id);
                         ready.enqueue(
                             slot(table.classes[requests.cursor[id].index()]),
                             ready_key(policy, requests, id),
@@ -1505,11 +1627,28 @@ impl<'a> Simulation<'a> {
                         } else {
                             // Token complete.
                             retire_token(requests, id, now, token_latencies);
-                            if requests.remaining[id] > 0 {
+                            let shed = faults
+                                .as_mut()
+                                .is_some_and(|f| deadline_shed(f, requests, id, now));
+                            if shed {
+                                // Deadline missed: the request is shed
+                                // (not completed, not reported), its
+                                // client re-issues immediately.
+                                requests.phase[id] = Phase::Done;
+                                let client = requests.cold[id].client;
+                                respawn_client(
+                                    requests,
+                                    ev,
+                                    client_remaining,
+                                    *closed_shape,
+                                    client,
+                                    now,
+                                );
+                            } else if requests.remaining[id] > 0 {
                                 // Next token: context has grown by the
                                 // token just emitted.
                                 requests.cursor[id].next_token();
-                                begin_token(system, plan, table, traffic, requests, id);
+                                begin_token(system, plan, table, traffic, requests, faults, id);
                                 ready.enqueue(
                                     slot(table.classes[0]),
                                     ready_key(policy, requests, id),
@@ -1519,6 +1658,9 @@ impl<'a> Simulation<'a> {
                                 // Request complete.
                                 requests.phase[id] = Phase::Done;
                                 let report = requests.completion_report(id, now);
+                                if let Some(f) = faults {
+                                    f.note_completion(&report);
+                                }
                                 queueing.push(report.queueing_delay().as_secs_f64());
                                 done.push(report);
 
@@ -1610,12 +1752,25 @@ impl<'a> Simulation<'a> {
                             .as_mut()
                             .expect("Queued is only dispatched with prefill on");
                         let cost = prefill_cost_bucketed(system, ps.plan, &mut ps.buckets, m);
-                        ps.busy += cost.total;
+                        // The prompt's NAND read volume is one fault
+                        // window; rereads stretch the whole stage.
+                        let mut total = cost.total;
+                        if let Some(f) = faults {
+                            let extra = f.window_extra(
+                                cost.traffic.nand_array_bytes,
+                                cost.total.as_picos(),
+                                &mut requests.fault_rng[id],
+                            );
+                            if extra > 0 {
+                                total += SimTime::from_picos(extra);
+                            }
+                        }
+                        ps.busy += total;
                         traffic.absorb(&cost.traffic);
-                        busy_track[0].add_interval(now, now + cost.total);
-                        busy_track[1].add_interval(now, now + cost.total);
-                        ev.schedule_op(0, now + cost.total, id);
-                        ev.schedule_op(1, now + cost.total, PREFILL_HOLD);
+                        busy_track[0].add_interval(now, now + total);
+                        busy_track[1].add_interval(now, now + total);
+                        ev.schedule_op(0, now + total, id);
+                        ev.schedule_op(1, now + total, PREFILL_HOLD);
                         continue;
                     }
                     *stamp += 1;
@@ -1630,11 +1785,19 @@ impl<'a> Simulation<'a> {
                         "ready list / op class mismatch"
                     );
                     let cost_slot = table.slots[idx] as usize;
-                    let latency = if cost_slot < table.n_inv {
+                    let mut latency = if cost_slot < table.n_inv {
                         table.inv_lat[cost_slot]
                     } else {
                         requests.dep_lat[id][cost_slot - table.n_inv]
                     };
+                    // The token's sampled fault time rides on its first
+                    // flash dispatch (always 0 with faults off).
+                    if s == slot(OpClass::Flash) {
+                        let extra = std::mem::take(&mut requests.fault_extra[id]);
+                        if extra > 0 {
+                            latency += SimTime::from_picos(extra);
+                        }
+                    }
                     busy_track[s].add_interval(now, now + latency);
                     ev.schedule_op(s, now + latency, id);
                 }
@@ -1663,13 +1826,18 @@ impl<'a> Simulation<'a> {
             .prefill
             .as_ref()
             .map_or((0, SimTime::ZERO), |p| (p.priced(), p.busy));
-        let ops_dispatched =
-            tokens_served * self.plan.len() as u64 + prefill_priced * PrefillCost::COMPONENT_OPS;
+        // Shed requests dispatched every op of the tokens they finished
+        // before the deadline cut them off — sheds happen only at token
+        // boundaries — so their tokens count as dispatched work even
+        // though no completion report carries them.
+        let shed_tokens = self.faults.as_ref().map_or(0, |f| f.shed_tokens);
+        let ops_dispatched = (tokens_served + shed_tokens) * self.plan.len() as u64
+            + prefill_priced * PrefillCost::COMPONENT_OPS;
 
         // GeMV recall accounting: every weight-GeMV dispatch beyond the
         // first per distinct shape reused a memoized flash simulation
         // (whether through the GeMV cache itself or the tables above).
-        let gemv_dispatched = tokens_served * self.table.gemvs_per_token;
+        let gemv_dispatched = (tokens_served + shed_tokens) * self.table.gemvs_per_token;
 
         let report = build_report(ReportInputs {
             policy: self.policy,
@@ -1690,6 +1858,11 @@ impl<'a> Simulation<'a> {
             peak_batch_occupancy: 0,
             kv_rejections: self.kv_rejections,
             traffic: self.traffic,
+            reliability: self
+                .faults
+                .as_ref()
+                .map(FaultRun::summary)
+                .unwrap_or_default(),
             done: self.done,
         });
         (report, self.system)
@@ -1717,6 +1890,9 @@ struct ReportInputs<'a> {
     peak_batch_occupancy: usize,
     kv_rejections: u64,
     traffic: TrafficBreakdown,
+    /// Fault counters (all-zero default when faults were off); the
+    /// goodput rate is derived here, where the horizon is known.
+    reliability: ReliabilitySummary,
     done: Vec<RequestReport>,
 }
 
@@ -1740,6 +1916,7 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
         peak_batch_occupancy,
         kv_rejections,
         traffic,
+        mut reliability,
         done,
     } = inputs;
     // TTFT in both frames: arrival-relative (queue + prefill + first
@@ -1766,6 +1943,9 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
     };
     let tokens_served: u64 = done.iter().map(|r| r.tokens as u64).sum();
     let horizon = makespan.as_secs_f64();
+    if horizon > 0.0 {
+        reliability.deadline_goodput_tps = reliability.goodput_tokens as f64 / horizon;
+    }
     let op_misses = system.op_cost_cache().misses();
     let gemv_misses = system.gemv_cache().misses();
     ServeReport {
@@ -1798,6 +1978,7 @@ fn build_report(inputs: ReportInputs<'_>) -> ServeReport {
         peak_batch_occupancy,
         kv_rejections,
         traffic,
+        reliability,
         requests: done,
     }
 }
@@ -1916,6 +2097,11 @@ struct BatchedSimulation<'a> {
     /// Most batch steps one span may coalesce (0 = per-position
     /// stepping).
     span_cap: usize,
+    /// Fault-injection state; `None` when [`FaultMode::Off`].
+    faults: Option<FaultRun>,
+    /// Fault-added picoseconds of the current batch step, consumed by
+    /// its first weight dispatch (always 0 with faults off).
+    step_fault_extra: u64,
 }
 
 impl<'a> BatchedSimulation<'a> {
@@ -1923,12 +2109,13 @@ impl<'a> BatchedSimulation<'a> {
         engine: &'a ServeEngine,
         trace: &ArrivalTrace,
         max_batch: usize,
-        system: System,
+        mut system: System,
     ) -> Self {
         // The one authoritative cache: the admission gate (`kv.fits`)
         // and the never-fits rejection criterion are both derived from
         // it, so they cannot disagree.
         let kv = kv_cache(engine);
+        let faults = FaultRun::for_engine(&engine.faults, &engine.cfg, &mut system);
         let mut sim = BatchedSimulation {
             system,
             plan: &engine.plan,
@@ -1952,7 +2139,12 @@ impl<'a> BatchedSimulation<'a> {
             ops_dispatched: 0,
             gemv_dispatched: 0,
             span_cap: engine.span.cap(),
+            faults,
+            step_fault_extra: 0,
         };
+        if let Some(f) = &sim.faults {
+            sim.requests.fault_root = Some(SplitMix64::new(f.seed()));
+        }
         let (remaining, shape) = load_trace(trace, &mut sim.requests, &mut sim.ev);
         sim.client_remaining = remaining;
         sim.closed_shape = shape;
@@ -2019,12 +2211,36 @@ impl<'a> BatchedSimulation<'a> {
         let mut survivors = Vec::with_capacity(active.len());
         for id in active {
             retire_token(&mut self.requests, id, now, &mut self.token_latencies);
-            if self.requests.remaining[id] > 0 {
+            let shed = match &mut self.faults {
+                Some(f) => deadline_shed(f, &self.requests, id, now),
+                None => false,
+            };
+            if shed {
+                // Deadline missed: the request is shed (not completed,
+                // not reported), its KV reservation is released so the
+                // freed capacity admits waiting work, and its client
+                // re-issues immediately.
+                self.requests.phase[id] = Phase::Done;
+                let shape = self.requests.cold[id].shape;
+                self.kv.release(shape.prompt_len + shape.new_tokens);
+                let client = self.requests.cold[id].client;
+                respawn_client(
+                    &mut self.requests,
+                    &mut self.ev,
+                    &mut self.client_remaining,
+                    self.closed_shape,
+                    client,
+                    now,
+                );
+            } else if self.requests.remaining[id] > 0 {
                 self.requests.cursor[id].next_token();
                 survivors.push(id);
             } else {
                 self.requests.phase[id] = Phase::Done;
                 let report = self.requests.completion_report(id, now);
+                if let Some(f) = &mut self.faults {
+                    f.note_completion(&report);
+                }
                 let shape = self.requests.cold[id].shape;
                 let context = shape.prompt_len + shape.new_tokens;
                 let client = self.requests.cold[id].client;
@@ -2148,10 +2364,23 @@ impl<'a> BatchedSimulation<'a> {
                         &mut ps.buckets,
                         shape.prompt_len,
                     );
-                    ps.busy += cost.total;
+                    // The prompt's NAND read volume is one fault
+                    // window; rereads stretch the admission window.
+                    let mut total = cost.total;
+                    if let Some(f) = &mut self.faults {
+                        let extra = f.window_extra(
+                            cost.traffic.nand_array_bytes,
+                            cost.total.as_picos(),
+                            &mut self.requests.fault_rng[id],
+                        );
+                        if extra > 0 {
+                            total += SimTime::from_picos(extra);
+                        }
+                    }
+                    ps.busy += total;
                     self.traffic.absorb(&cost.traffic);
                     self.requests.cold[id].started = Some(now + delay);
-                    delay += cost.total;
+                    delay += total;
                     self.requests.phase[id] = Phase::Prefilling;
                     self.requests.cold[id].prefill_end = Some(now + delay);
                 }
@@ -2185,6 +2414,19 @@ impl<'a> BatchedSimulation<'a> {
                 self.traffic
                     .absorb_scaled(&cost.traffic, self.plan.slot_count(op_slot) as u64);
             }
+        }
+        // One fault window per batch step: the shared weight stream is
+        // read once for the whole batch, so its page faults are drawn
+        // once — from the head member's stream, which is stable in
+        // admission order. The extra time rides on the step's first
+        // weight dispatch.
+        if let Some(f) = &mut self.faults {
+            let owner = self.batch.active[0];
+            self.step_fault_extra = f.window_extra(
+                self.table.inv_stream_traffic.nand_array_bytes,
+                self.table.solo_flash_lat.as_picos(),
+                &mut self.requests.fault_rng[owner],
+            );
         }
         self.batch.pos = 0;
         self.dispatch(now);
@@ -2276,10 +2518,39 @@ impl<'a> BatchedSimulation<'a> {
             _ => k_max,
         };
         debug_assert!(k_max >= 1, "an active member always owes a token");
+        // Deadlines bound the span: the first token boundary at or
+        // after the earliest member deadline must be a real boundary so
+        // `token_boundary`'s shed check sees it. Interior boundaries
+        // all land strictly before every deadline, where the (strict)
+        // check could never fire anyway.
+        let min_deadline_ps: Option<u64> = match &self.faults {
+            Some(f) => self
+                .batch
+                .active
+                .iter()
+                .filter_map(|&id| {
+                    let arrived = self.requests.cold[id].arrived;
+                    let total = f.total_deadline().map(|d| (arrived + d).as_picos());
+                    let ttft = if self.requests.cold[id].first_token.is_none() {
+                        f.ttft_deadline().map(|d| (arrived + d).as_picos())
+                    } else {
+                        None
+                    };
+                    match (total, ttft) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (Some(a), None) => Some(a),
+                        (None, Some(b)) => Some(b),
+                        (None, None) => None,
+                    }
+                })
+                .min(),
+            None => None,
+        };
         let next_arrival = self.ev.next_arrival_ps();
         let mut lats: Vec<SimTime> = Vec::with_capacity(k_max.min(4096));
         let mut t = now;
         let mut npu_busy = SimTime::ZERO;
+        let mut span_fault_extra: u64 = 0;
         let mut k = 0usize;
         // Attention traffic accumulates span-locally and lands in the
         // shared ledger once at span end: the integer per-step sums
@@ -2312,7 +2583,22 @@ impl<'a> BatchedSimulation<'a> {
                 }
                 i += run;
             }
-            let lat = flash_step + npu_inv_step + dep_step;
+            let mut lat = flash_step + npu_inv_step + dep_step;
+            // One fault window per step, same stream and window as
+            // per-step mode — every priced step is committed, so the
+            // draws are never speculative.
+            if let Some(f) = &mut self.faults {
+                let owner = self.batch.active[0];
+                let extra = f.window_extra(
+                    self.table.inv_stream_traffic.nand_array_bytes,
+                    self.table.solo_flash_lat.as_picos(),
+                    &mut self.requests.fault_rng[owner],
+                );
+                if extra > 0 {
+                    lat += SimTime::from_picos(extra);
+                    span_fault_extra += extra;
+                }
+            }
             npu_busy += npu_inv_step + dep_step;
             t += lat;
             lats.push(lat);
@@ -2326,6 +2612,11 @@ impl<'a> BatchedSimulation<'a> {
                 // First boundary at or after the next arrival: stop so
                 // the admission pass sees it (the arrival itself fires
                 // mid-span and queues, exactly as it would mid-step).
+                break;
+            }
+            if min_deadline_ps.is_some_and(|dl| t.as_picos() >= dl) {
+                // First boundary at or after a member deadline: stop so
+                // the boundary's shed check runs.
                 break;
             }
         }
@@ -2343,7 +2634,11 @@ impl<'a> BatchedSimulation<'a> {
         self.ops_dispatched += k as u64 * (weights + (n_ops as u64 - weights) * batch);
         // One busy interval per resource for the whole span; per-class
         // totals are identical to per-position interval accounting.
-        self.busy_track[0].add_interval(now, now + flash_step * k as u64);
+        // Fault time is flash time: rereads occupy the flash device.
+        self.busy_track[0].add_interval(
+            now,
+            now + flash_step * k as u64 + SimTime::from_picos(span_fault_extra),
+        );
         self.busy_track[1].add_interval(now, now + npu_busy);
         // Interior token boundaries (all steps but the last) retire
         // inline: samples and first tokens in the same member order as
@@ -2395,9 +2690,16 @@ impl<'a> BatchedSimulation<'a> {
             let flash_floor = self
                 .system
                 .flash_compute_time(self.table.inv_flash_ops[cost_slot] * batch);
-            self.table.inv_lat[cost_slot]
+            let base = self.table.inv_lat[cost_slot]
                 .max(npu_floor)
-                .max(flash_floor)
+                .max(flash_floor);
+            // The step's sampled fault time rides on its first weight
+            // window (always 0 with faults off).
+            if self.step_fault_extra > 0 {
+                base + SimTime::from_picos(std::mem::take(&mut self.step_fault_extra))
+            } else {
+                base
+            }
         } else if cost_slot < self.table.n_inv {
             // Per-request NPU work at the shared table price.
             self.ops_dispatched += batch;
@@ -2450,6 +2752,11 @@ impl<'a> BatchedSimulation<'a> {
             peak_batch_occupancy: self.batch.peak,
             kv_rejections: self.kv_rejections,
             traffic: self.traffic,
+            reliability: self
+                .faults
+                .as_ref()
+                .map(FaultRun::summary)
+                .unwrap_or_default(),
             done: self.done,
         });
         (report, self.system)

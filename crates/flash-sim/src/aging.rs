@@ -33,6 +33,23 @@ impl FlashAge {
             retention_days: 365.0,
         }
     }
+
+    /// Ages the block by `days` of retention plus the wear-equivalent of
+    /// `read_bytes` of read traffic.
+    ///
+    /// Read disturb accumulates like fractional P/E cycling: every
+    /// `bytes_per_pe` bytes read counts as one program/erase cycle
+    /// [Cai'13]. This is the feedback edge of the wear-trajectory driver
+    /// — each simulated day's flash read volume makes the next day's
+    /// RBER worse. `bytes_per_pe == 0` means reads are wear-free.
+    pub fn absorb_reads(&mut self, read_bytes: u64, bytes_per_pe: u64, days: f64) {
+        self.retention_days += days;
+        if let Some(cycles) = read_bytes.checked_div(bytes_per_pe) {
+            self.pe_cycles = self
+                .pe_cycles
+                .saturating_add(cycles.min(u32::MAX as u64) as u32);
+        }
+    }
 }
 
 /// Parametric raw-bit-error-rate model.
@@ -72,13 +89,20 @@ impl BerModel {
     }
 
     /// Days of retention until the BER crosses `limit` at a given wear
-    /// level (`None` if already above it at day zero).
+    /// level.
+    ///
+    /// Returns `None` when the question has no finite answer: the limit
+    /// is already met or exceeded at day zero (`limit <= base`), or the
+    /// model has no retention growth (`k_ret_per_day <= 0`, where the
+    /// BER never moves and a naive division would manufacture an
+    /// infinity). Never returns NaN or a non-finite day count.
     pub fn days_until(&self, pe_cycles: u32, limit: f64) -> Option<f64> {
-        if limit <= self.base {
+        if limit <= self.base || self.k_ret_per_day <= 0.0 {
             return None;
         }
         let wear = (1.0 + pe_cycles as f64 / self.pe0).powf(self.exponent);
-        Some((limit - self.base) * 365.0 / (self.k_ret_per_day * wear))
+        let days = (limit - self.base) * 365.0 / (self.k_ret_per_day * wear);
+        days.is_finite().then_some(days)
     }
 }
 
@@ -150,6 +174,62 @@ mod tests {
         });
         assert!((check - 1e-3).abs() / 1e-3 < 0.01, "{check}");
         assert!(m.days_until(pe, 1e-6).is_none());
+    }
+
+    #[test]
+    fn days_until_zero_growth_rate_is_none_not_infinite() {
+        // A model with no retention growth never crosses any limit
+        // above base; the old code divided by zero and returned
+        // `Some(inf)`.
+        let m = BerModel {
+            k_ret_per_day: 0.0,
+            ..BerModel::default()
+        };
+        assert_eq!(m.days_until(100, 1e-3), None);
+        let neg = BerModel {
+            k_ret_per_day: -1.0,
+            ..BerModel::default()
+        };
+        assert_eq!(neg.days_until(100, 1e-3), None);
+    }
+
+    #[test]
+    fn days_until_limit_at_or_below_base_is_none() {
+        let m = BerModel::default();
+        assert_eq!(m.days_until(0, m.base), None);
+        assert_eq!(m.days_until(0, m.base / 2.0), None);
+        assert_eq!(m.days_until(0, 0.0), None);
+        assert_eq!(m.days_until(0, -1.0), None);
+    }
+
+    #[test]
+    fn days_until_is_always_finite_when_some() {
+        let m = BerModel::default();
+        for pe in [0u32, 100, 3000, u32::MAX] {
+            for limit in [1e-4, 1e-2, 0.5] {
+                if let Some(d) = m.days_until(pe, limit) {
+                    assert!(d.is_finite() && d > 0.0, "pe {pe} limit {limit}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_reads_accumulates_wear_and_retention() {
+        let mut age = FlashAge::fresh();
+        let before = age;
+        age.absorb_reads(10_000 * 4096, 4096, 2.5);
+        assert_eq!(age.pe_cycles, before.pe_cycles + 10_000);
+        assert_eq!(age.retention_days, before.retention_days + 2.5);
+        // Wear-free reads still advance retention.
+        let mut free = FlashAge::fresh();
+        free.absorb_reads(u64::MAX, 0, 1.0);
+        assert_eq!(free.pe_cycles, FlashAge::fresh().pe_cycles);
+        assert_eq!(free.retention_days, FlashAge::fresh().retention_days + 1.0);
+        // Saturates instead of overflowing.
+        let mut old = FlashAge::worn_out();
+        old.absorb_reads(u64::MAX, 1, 0.0);
+        assert_eq!(old.pe_cycles, u32::MAX);
     }
 
     #[test]

@@ -22,6 +22,16 @@ use crate::hamming;
 /// Number of replicated threshold bytes (Figure 8(a): "e.g., 9 copies").
 pub const THRESHOLD_COPIES: usize = 9;
 
+/// Raw bit error rate the outlier-oriented ECC corrects transparently.
+///
+/// Paper §VI: the scheme keeps model accuracy intact up to RBER ~2e-4
+/// (Figure 10's knee — beyond it fake outliers and unprotected flips
+/// start to bite). Serve-side fault injection (`core::reliability`)
+/// imports this same constant as its per-page correction threshold, so
+/// the ECC crate and the serving simulator can never drift apart on
+/// what "correctable" means.
+pub const CORRECTABLE_RBER: f64 = 2e-4;
+
 /// Codec configuration for one page geometry.
 ///
 /// # Domain assumption

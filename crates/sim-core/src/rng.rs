@@ -89,6 +89,42 @@ impl SplitMix64 {
         (u.ln() / (1.0 - p).ln()).floor() as u64
     }
 
+    /// Binomial sample: successes in `n` trials at probability `p`.
+    ///
+    /// This is the page-granularity fault sampler: a decode span reads
+    /// millions of flash pages, each failing ECC independently with a
+    /// tiny probability, and we need the count without a per-page loop.
+    /// Two regimes, both deterministic from the generator state:
+    ///
+    /// - mean `n·p <= 64`: geometric skip-sampling between successes,
+    ///   O(successes) draws — the common case for rare faults;
+    /// - larger means: normal approximation (mean `np`, variance
+    ///   `np(1-p)`), rounded and clamped to `[0, n]`. At `np > 64` the
+    ///   relative error of the approximation is far below the
+    ///   run-to-run spread we are modeling.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        let mean = n as f64 * p;
+        if mean <= 64.0 {
+            let mut successes = 0u64;
+            let mut i = self.geometric(p);
+            while i < n {
+                successes += 1;
+                i = i.saturating_add(1 + self.geometric(p));
+            }
+            successes
+        } else {
+            let sd = (mean * (1.0 - p)).sqrt();
+            let x = mean + sd * self.normal();
+            (x.round().max(0.0) as u64).min(n)
+        }
+    }
+
     /// Standard normal sample (Box–Muller; one value per call).
     pub fn normal(&mut self) -> f64 {
         let u1 = self.next_f64().max(f64::MIN_POSITIVE);
@@ -176,6 +212,47 @@ mod tests {
             (mean - expected).abs() / expected < 0.05,
             "mean {mean} vs {expected}"
         );
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SplitMix64::new(10);
+        assert_eq!(rng.binomial(0, 0.5), 0);
+        assert_eq!(rng.binomial(100, 0.0), 0);
+        assert_eq!(rng.binomial(100, -0.5), 0);
+        assert_eq!(rng.binomial(100, 1.0), 100);
+        assert_eq!(rng.binomial(100, 2.0), 100);
+        for _ in 0..1000 {
+            assert!(rng.binomial(10, 0.5) <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_matches_theory_in_both_regimes() {
+        // Skip-sampling regime (np = 0.8) and normal regime (np = 5e4).
+        for (n, p) in [(80u64, 0.01), (100_000u64, 0.5)] {
+            let mut rng = SplitMix64::new(11);
+            let trials = 20_000;
+            let total: u64 = (0..trials).map(|_| rng.binomial(n, p)).sum();
+            let mean = total as f64 / trials as f64;
+            let expected = n as f64 * p;
+            let sd = (expected * (1.0 - p)).sqrt();
+            // Mean of `trials` samples has stddev sd/sqrt(trials); 5
+            // sigma keeps this deterministic-seed test robust.
+            assert!(
+                (mean - expected).abs() < 5.0 * sd / (trials as f64).sqrt(),
+                "n {n} p {p}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_deterministic_for_same_state() {
+        let mut a = SplitMix64::new(12);
+        let mut b = SplitMix64::new(12);
+        for _ in 0..100 {
+            assert_eq!(a.binomial(1_000_000, 1e-5), b.binomial(1_000_000, 1e-5));
+        }
     }
 
     #[test]

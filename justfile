@@ -15,13 +15,15 @@ bench:
 # Serving hot-path benchmark: measures simulated-tokens-per-wall-second
 # on the 70B serving scenario — round-robin, batched, prefill-enabled,
 # the long-decode coalesced variant (span fast-forwarding vs the
-# per-op reference loop), and the Monte Carlo batch (32 seeded traces
-# on one pre-warmed pricing system, aggregate tokens/wall-sec) — and
-# records the perf trajectory in BENCH_serving.json (compare against
-# the committed numbers before and after touching the serve/system hot
-# path).
+# per-op reference loop), the Monte Carlo batch (32 seeded traces
+# on one pre-warmed pricing system, aggregate tokens/wall-sec), and
+# the fault-injected reliability variant (goodput-vs-wear ladder plus
+# the wear-trajectory days-until-SLO figure at a 1-year age anchor) —
+# and records the perf trajectory in BENCH_serving.json (compare
+# against the committed numbers before and after touching the
+# serve/system hot path).
 perf:
-    cargo run --release -p bench --bin serve_throughput
+    cargo run --release -p bench --bin serve_throughput -- --faults 365
 
 # Regenerate every paper table/figure ("full" for full-resolution sweeps).
 repro target="all":

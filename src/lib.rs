@@ -29,8 +29,9 @@ pub use tiling;
 pub mod prelude {
     pub use baselines::{BaselineError, FlexGen, MlcLlm};
     pub use cambricon_llm::{
-        EnergyModel, MonteCarlo, MonteCarloReport, PrefillMode, SchedulePolicy, ServeEngine,
-        ServeReport, SpanMode, System, SystemConfig,
+        EnergyModel, FaultConfig, FaultMode, MonteCarlo, MonteCarloReport, PrefillMode,
+        ReliabilitySummary, SchedulePolicy, ServeEngine, ServeReport, SpanMode, System,
+        SystemConfig, WearReport, WearTrajectory,
     };
     pub use flash_sim::{SlicePolicy, Topology};
     pub use llm_workload::{zoo, ArrivalTrace, Quant, RequestShape};

@@ -121,6 +121,73 @@ fn ecc_payload_fits_every_paper_page() {
 }
 
 #[test]
+fn decode_stats_round_trip_into_serve_side_reliability() {
+    // Satellite: the bit-exact codec's observed damage folds into the
+    // same ledger the serving engine's fault injection fills, so a
+    // measured ECC trial and an event-loop run report through one type.
+    use sim_core::SplitMix64;
+    let codec = PageCodec::paper();
+    let weights: Vec<i8> = (0..16384)
+        .map(|i| {
+            if i % 97 == 0 {
+                110
+            } else {
+                (i % 23) as i8 - 11
+            }
+        })
+        .collect();
+    let mut rel = ReliabilitySummary::default();
+    let mut trials = 0u64;
+    let mut rng = SplitMix64::new(0xECC);
+    // Push the BER well past the knee so the decoder demonstrably works.
+    for seed in 0..6u64 {
+        let mut page = codec.encode(&weights);
+        BitFlipModel::new(4e-3, rng.next_u64() ^ seed).corrupt_page(&mut page);
+        let (_, stats) = codec.decode_with_stats(&page);
+        rel.absorb_decode_stats(&stats);
+        trials += stats.outliers_repaired as u64
+            + stats.addresses_corrected as u64
+            + stats.entries_discarded as u64;
+    }
+    assert!(trials > 0, "no corrector action at 20x the knee BER");
+    assert_eq!(rel.corrected_pages + rel.uncorrectable_events, trials);
+    assert!(
+        rel.corrected_pages > 0,
+        "majority vote never repaired anything"
+    );
+    // The serve-side counters the event loops fill stay untouched.
+    assert_eq!(rel.page_rereads, 0);
+    assert_eq!(rel.total_sheds(), 0);
+}
+
+#[test]
+fn ecc_threshold_constant_cannot_drift() {
+    // One constant, two crates: the fault model's default correction
+    // threshold IS the codec crate's knee — not a copied literal.
+    assert_eq!(
+        FaultConfig::default().correctable_rber,
+        outlier_ecc::CORRECTABLE_RBER
+    );
+    // And the knee itself is where the paper's Figure 10 puts it.
+    assert_eq!(outlier_ecc::CORRECTABLE_RBER, 2e-4);
+    // The analytic page-fail curve agrees: negligible failure below the
+    // knee, certain failure far above it.
+    let page_bits = 16 * 1024 * 8;
+    let below = cambricon_llm::page_fail_prob(
+        outlier_ecc::CORRECTABLE_RBER / 4.0,
+        page_bits,
+        outlier_ecc::CORRECTABLE_RBER,
+    );
+    let above = cambricon_llm::page_fail_prob(
+        outlier_ecc::CORRECTABLE_RBER * 4.0,
+        page_bits,
+        outlier_ecc::CORRECTABLE_RBER,
+    );
+    assert!(below < 1e-6, "{below}");
+    assert!(above > 0.999, "{above}");
+}
+
+#[test]
 fn severity_measured_not_assumed() {
     // The ECC benefit in the figures comes from the measured codec, not
     // a constant: severity with ECC must be multiples lower at 2e-4.

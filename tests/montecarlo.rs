@@ -96,6 +96,71 @@ fn seed_hygiene_distinct_streams_and_exact_reproduction() {
 }
 
 #[test]
+fn fault_injected_batches_identical_across_worker_counts() {
+    // Acceptance: with fault injection on, per-request fault streams
+    // fork from the engine's root seed at push order — never from
+    // thread-local state — so a Monte Carlo batch is bit-identical at
+    // 1, 2, 4, and 8 workers, reliability counters included.
+    use flash_sim::FlashAge;
+    let fc = FaultConfig::aged(FlashAge::worn_out());
+    for policy in [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::ContinuousBatch { max_batch: 4 },
+    ] {
+        let eng = engine(PrefillMode::Modeled).with_faults(FaultMode::Injected(fc));
+        let run = |threads: usize| {
+            MonteCarlo::new(6, 0xFA117)
+                .with_threads(threads)
+                .run(&eng, policy, trace)
+        };
+        let single = run(1);
+        assert!(
+            single.page_rereads.mean > 0.0,
+            "{policy:?}: worn chip produced no rereads"
+        );
+        assert!(single.summary().contains("reliability:"));
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                single,
+                run(threads),
+                "{policy:?}: fault-injected batch differs at {threads} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_seed_batch_pins_zero_width_estimates() {
+    // Satellite: n = 1 is a degenerate but legal batch — every
+    // Estimate must report stddev 0 and ci95 0 (not NaN from an n-1
+    // division), for the serving metrics and the reliability metrics.
+    use flash_sim::FlashAge;
+    let eng = engine(PrefillMode::Modeled)
+        .with_faults(FaultMode::Injected(FaultConfig::aged(FlashAge::worn_out())));
+    let rep = MonteCarlo::new(1, 42).run(&eng, SchedulePolicy::Fcfs, trace);
+    for (name, est) in [
+        ("throughput", &rep.throughput),
+        ("ttft_p50", &rep.ttft_p50_s),
+        ("ttft_p99", &rep.ttft_p99_s),
+        ("latency_p50", &rep.token_latency_p50_s),
+        ("latency_p99", &rep.token_latency_p99_s),
+        ("latency_mean", &rep.token_latency_mean_s),
+        ("occupancy", &rep.batch_occupancy),
+        ("kv_rejections", &rep.kv_rejections),
+        ("page_rereads", &rep.page_rereads),
+        ("uncorrectable", &rep.uncorrectable_events),
+        ("sheds", &rep.deadline_sheds),
+        ("goodput", &rep.goodput_tps),
+    ] {
+        assert_eq!(est.n, 1, "{name}");
+        assert_eq!(est.stddev, 0.0, "{name}: nonzero stddev from one sample");
+        assert_eq!(est.ci95, 0.0, "{name}: nonzero ci95 from one sample");
+        assert!(est.mean.is_finite(), "{name}");
+    }
+    assert_eq!(rep.per_seed.len(), 1);
+}
+
+#[test]
 fn estimates_aggregate_the_per_seed_reports() {
     let eng = engine(PrefillMode::Off);
     let rep = MonteCarlo::new(8, 3).run(&eng, SchedulePolicy::RoundRobin, trace);
