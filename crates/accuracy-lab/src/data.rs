@@ -50,6 +50,7 @@ pub fn gaussian_blobs(
     seed: u64,
 ) -> Dataset {
     assert!(classes >= 2 && dim >= 1 && samples >= classes);
+    // simlint: allow(D1) — synthetic-dataset generator; one stream per dataset seed, offline
     let mut rng = SplitMix64::new(seed);
     // Class means on a scaled simplex-ish arrangement.
     let means: Vec<Vec<f32>> = (0..classes)

@@ -64,6 +64,7 @@ impl Mlp {
     pub fn train(cfg: MlpConfig, train: &Dataset) -> Mlp {
         assert_eq!(train.dim(), cfg.input, "dataset dim mismatch");
         assert_eq!(train.classes, cfg.classes, "class count mismatch");
+        // simlint: allow(D1) — weight-init stream from the training config's own seed, offline
         let mut rng = SplitMix64::new(cfg.seed);
         let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
             let scale = (2.0 / fan_in as f64).sqrt();

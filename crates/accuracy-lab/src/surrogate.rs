@@ -70,10 +70,12 @@ pub fn tasks() -> [TaskSpec; 3] {
 /// Generates one page of LLM-like INT8 weights: Gaussian bulk (σ ≈ 8)
 /// plus ~0.5 % outliers of magnitude 80–127.
 pub fn llm_like_page(elems: usize, seed: u64) -> Vec<i8> {
+    // simlint: allow(D1) — synthetic-weight generator; one stream per page seed, offline
     let mut rng = SplitMix64::new(seed);
     (0..elems)
         .map(|_| {
             if rng.chance(0.005) {
+                // simlint: allow(D4) — outlier magnitudes for synthetic weights, outside the serving replay path
                 let mag = 80.0 + rng.next_f64() * 47.0;
                 (if rng.chance(0.5) { mag } else { -mag }) as i8
             } else {

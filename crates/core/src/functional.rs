@@ -74,6 +74,7 @@ pub fn gemv_through_flash(
         value_copies: 2,
         spare_bytes: inp.topology.spare_bytes_per_page,
     };
+    // simlint: allow(D1) — offline functional-accuracy study; single stream from the caller's seed, no per-entity derivation
     let mut rng = SplitMix64::new(seed);
     let mut y = vec![0i32; rows];
     let mut corrupted = 0usize;
@@ -90,6 +91,7 @@ pub fn gemv_through_flash(
             padded.resize(pp, 0);
             let decoded = if with_ecc {
                 let mut page = codec.encode(&padded);
+                // simlint: allow(D4) — per-page fault-model seeds drawn here, outside the serving replay path
                 BitFlipModel::new(ber, rng.next_u64()).corrupt_page(&mut page);
                 codec.decode(&page)
             } else {
@@ -97,6 +99,7 @@ pub fn gemv_through_flash(
                     data: padded,
                     spare: Vec::new(),
                 };
+                // simlint: allow(D4) — same offline study, unprotected arm
                 BitFlipModel::new(ber, rng.next_u64()).corrupt_page(&mut page);
                 page.data
             };

@@ -87,11 +87,11 @@ impl FlashDevice {
         let mean_utilization = if pairs.is_empty() || finish == SimTime::ZERO {
             0.0
         } else {
-            pairs
-                .iter()
-                .map(|(_, r)| r.bus_busy.as_picos() as f64 / finish.as_picos() as f64)
-                .sum::<f64>()
-                / pairs.len() as f64
+            sim_core::sum_ordered(
+                pairs
+                    .iter()
+                    .map(|(_, r)| r.bus_busy.as_picos() as f64 / finish.as_picos() as f64),
+            ) / pairs.len() as f64
         };
         let cores = self.cfg.topology.compute_cores_per_channel() as u64;
         let page = self.cfg.topology.page_bytes as u64;

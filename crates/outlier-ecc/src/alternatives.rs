@@ -276,6 +276,21 @@ pub fn compare_alternatives(weights: &[i8], ber: f64, seed: u64) -> Vec<Alternat
         .collect()
 }
 
+/// The feasible row with the least residual error, or `None` if no
+/// scheme fits the spare area.
+///
+/// Ordering uses [`f64::total_cmp`], not `partial_cmp(..).unwrap()`:
+/// `rms_err` is a computed quantity, and a NaN (e.g. from a degenerate
+/// empty page) must pin to a deterministic rank instead of panicking
+/// the comparison. Under IEEE 754 total order positive NaNs sort above
+/// every real value, so a NaN row can never displace a finite winner;
+/// ties keep the first row in `rows` order.
+pub fn best_feasible(rows: &[AlternativeRow]) -> Option<&AlternativeRow> {
+    rows.iter()
+        .filter(|r| r.feasible)
+        .min_by(|a, b| a.rms_err.total_cmp(&b.rms_err))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,16 +361,37 @@ mod tests {
         // that FIT the spare area, the outlier ECC has the least damage.
         let weights = llm_page(16384, 21);
         let rows = compare_alternatives(&weights, 1e-4, 33);
-        let feasible_best = rows
-            .iter()
-            .filter(|r| r.feasible)
-            .min_by(|a, b| a.rms_err.partial_cmp(&b.rms_err).unwrap())
-            .unwrap();
+        let feasible_best = best_feasible(&rows).unwrap();
         assert!(
             feasible_best.name.contains("outlier"),
             "best feasible was {}",
             feasible_best.name
         );
+    }
+
+    #[test]
+    fn best_feasible_pins_nan_rows_instead_of_panicking() {
+        let row = |name, feasible, rms_err| AlternativeRow {
+            name,
+            spare_required: 0,
+            feasible,
+            rms_err,
+        };
+        // A NaN row never displaces a finite winner (total_cmp ranks
+        // positive NaN above every real), and an infeasible row never
+        // competes at all.
+        let rows = vec![
+            row("nan", true, f64::NAN),
+            row("good", true, 1.0),
+            row("tiny-but-infeasible", false, 0.0),
+        ];
+        assert_eq!(best_feasible(&rows).unwrap().name, "good");
+        // All-NaN input returns the first row (min_by keeps the first
+        // of equal elements) rather than panicking.
+        let all_nan = vec![row("a", true, f64::NAN), row("b", true, f64::NAN)];
+        assert_eq!(best_feasible(&all_nan).unwrap().name, "a");
+        // No feasible rows: None, not a panic.
+        assert!(best_feasible(&[row("x", false, 1.0)]).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ impl BitFlipModel {
         assert!((0.0..=1.0).contains(&ber), "BER {ber} out of range");
         BitFlipModel {
             ber,
+            // simlint: allow(D1) — the fault model IS the stream owner; callers pass a forked or study-level seed
             rng: SplitMix64::new(seed),
         }
     }

@@ -44,7 +44,7 @@ pub mod codec;
 pub mod hamming;
 pub mod inject;
 
-pub use alternatives::{compare_alternatives, AlternativeRow, Protection};
+pub use alternatives::{best_feasible, compare_alternatives, AlternativeRow, Protection};
 pub use analysis::{measure, run_trial, run_trials, CorruptionReport};
 pub use codec::{DecodeStats, EncodedPage, PageCodec, CORRECTABLE_RBER, THRESHOLD_COPIES};
 pub use inject::{protected_flip_rate, BitFlipModel};

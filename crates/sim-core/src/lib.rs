@@ -47,5 +47,5 @@ pub mod time;
 pub use event::EventQueue;
 pub use parallel::{parallel_map, parallel_map_workers};
 pub use rng::SplitMix64;
-pub use stats::{Aggregate, BusyTracker, CacheStats, Counter, Estimate, Samples};
+pub use stats::{sum_ordered, Aggregate, BusyTracker, CacheStats, Counter, Estimate, Samples};
 pub use time::{transfer_time, SimTime};

@@ -10,6 +10,20 @@
 
 use crate::time::SimTime;
 
+/// The approved f64 reduction: a strict left-to-right fold.
+///
+/// Floating-point addition is not associative, so any reduction whose
+/// order can vary (rayon-style tree sums, hash-map iteration) produces
+/// run-to-run drift in the last ulps — enough to break bit-exact golden
+/// reports. This helper pins the order. It is bit-identical to
+/// `iter().sum::<f64>()` (std's `Sum` for `f64` is exactly
+/// `fold(0.0, Add::add)`), but spelling it `sum_ordered` makes the
+/// ordering contract visible at the call site and gives the simlint D3
+/// rule a single sanctioned home for float accumulation.
+pub fn sum_ordered<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
 /// Tracks the total busy time of a single resource.
 ///
 /// Busy intervals are reported by the simulator as they are *retired*
@@ -288,7 +302,7 @@ impl Samples {
     /// Mean of samples, or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
         (!self.values.is_empty())
-            .then(|| self.values.iter().sum::<f64>() / self.values.len() as f64)
+            .then(|| sum_ordered(self.values.iter().copied()) / self.values.len() as f64)
     }
 
     /// The `p`-th percentile (`0.0..=100.0`) by nearest-rank, or `None`
@@ -381,7 +395,7 @@ impl Estimate {
         if n == 0 {
             return Self::default();
         }
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean = sum_ordered(samples.iter().copied()) / n as f64;
         if n < 2 {
             return Estimate {
                 n,
@@ -390,7 +404,7 @@ impl Estimate {
                 ci95: 0.0,
             };
         }
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let var = sum_ordered(samples.iter().map(|x| (x - mean) * (x - mean))) / (n - 1) as f64;
         let stddev = var.sqrt();
         Estimate {
             n,

@@ -1,0 +1,13 @@
+// simlint-fixture: crates/core/src/example.rs
+//! D1 firing cases: raw stream construction and seed arithmetic.
+use sim_core::SplitMix64;
+
+fn streams(seed: u64) -> Vec<u64> {
+    let mut root = SplitMix64::new(seed); //~ D1
+    let _ = root.next_bits();
+    (0..4).map(|i| SplitMix64::new(seed + i).state()).collect() //~ D1 D1
+}
+
+fn mixed(root: u64) -> u64 {
+    root ^ 0x9e37 //~ D1
+}

@@ -1,0 +1,12 @@
+// simlint-fixture: crates/core/src/reliability.rs
+//! An approved seed-stream module: construction is allowed there, but
+//! arithmetic seed derivation is still the PR 6 bug class.
+use sim_core::SplitMix64;
+
+fn make(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed) // approved module: root construction allowed
+}
+
+fn derive(seed: u64) -> u64 {
+    seed + 1 //~ D1
+}

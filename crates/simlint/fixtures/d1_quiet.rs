@@ -1,0 +1,22 @@
+// simlint-fixture: crates/core/src/quiet.rs
+//! D1/D4 near-misses: forking, non-seed identifiers, test code.
+use sim_core::SplitMix64;
+
+fn fork_is_fine(root: &mut SplitMix64) -> SplitMix64 {
+    root.fork() // forking an existing stream is the sanctioned derivation
+}
+
+fn speed_is_not_a_seed(speed: u64) -> u64 {
+    speed + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_fixture() {
+        let mut rng = SplitMix64::new(7); // test code: scoped rules skip it
+        let _ = rng.next_u64();
+    }
+}

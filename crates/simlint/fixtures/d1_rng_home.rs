@@ -1,0 +1,6 @@
+// simlint-fixture: crates/sim-core/src/rng.rs
+//! The RNG home module: seed-mixing arithmetic is its whole job.
+
+fn mix(seed: u64) -> u64 {
+    seed ^ 0x9e3779b97f4a7c15
+}

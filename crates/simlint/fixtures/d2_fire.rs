@@ -1,0 +1,21 @@
+// simlint-fixture: crates/npu-sim/src/example.rs
+//! D2 firing cases: unordered containers and host clocks in a sim crate.
+use std::collections::HashMap; //~ D2
+use std::collections::HashSet; //~ D2
+use std::time::{Instant, SystemTime}; //~ D2
+
+fn slow() -> u128 {
+    let t = Instant::now(); //~ D2
+    t.elapsed().as_nanos()
+}
+
+fn stamp() -> SystemTime { //~ D2
+    SystemTime::now() //~ D2
+}
+
+fn scratch() -> usize {
+    // Two identical findings on one line dedup to a single diagnostic.
+    let m: HashMap<u32, u32> = HashMap::new(); //~ D2
+    let s: HashSet<u32> = HashSet::new(); //~ D2
+    m.len() + s.len()
+}

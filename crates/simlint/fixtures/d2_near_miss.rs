@@ -1,0 +1,28 @@
+// simlint-fixture: crates/llm-workload/src/quiet.rs
+//! D2 near-misses: ordered containers, strings, comments, test code.
+use std::collections::BTreeMap;
+
+// A comment may say HashMap or Instant::now without firing.
+fn label() -> &'static str {
+    "HashMap and SystemTime in a string are just text"
+}
+
+fn ordered(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        h.insert(x, x);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn scratch_set_in_tests_is_fine() {
+        let mut s = HashSet::new();
+        s.insert(1u32);
+        assert!(s.contains(&1));
+    }
+}

@@ -1,0 +1,8 @@
+// simlint-fixture: crates/bench/src/example.rs
+//! The bench crate measures wall-clock time by design: out of D2 scope.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,26 @@
+// simlint-fixture: crates/flash-sim/src/example.rs
+//! D3 firing cases: NaN-unsafe comparators and unpinned f64 reductions.
+
+fn worst(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D3
+    v[0]
+}
+
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() //~ D3
+}
+
+fn folded(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, x| a + x) //~ D3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn comparator_in_test_still_fires() {
+        let mut v = vec![2.0f64, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D3
+        assert_eq!(v[0], 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+// simlint-fixture: crates/flash-sim/src/quiet.rs
+//! D3 near-misses that must stay silent.
+
+fn ok(xs: &[f64], ns: &[u64]) -> (f64, u64, f64) {
+    let m = xs.iter().copied().fold(0.0, f64::max); // order-insensitive reducer
+    let s = ns.iter().sum::<u64>(); // integer sums are exact
+    let t = ns.iter().fold(0, |a, x| a + x); // integer fold seed
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b)); // the sanctioned comparator
+    (m, s + t, v[0])
+}
+
+struct W(f64);
+
+impl W {
+    fn partial_cmp(&self) {} // a definition, not a `.partial_cmp` call
+}

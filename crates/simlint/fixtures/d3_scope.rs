@@ -1,0 +1,13 @@
+// simlint-fixture: crates/outlier-ecc/src/example.rs
+//! Offline-analysis crate: reductions are unscoped there, but the
+//! comparator rule applies everywhere — NaN panics are never fine.
+
+fn rms(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+fn worst(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D3
+    v[0]
+}

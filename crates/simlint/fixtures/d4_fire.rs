@@ -1,0 +1,7 @@
+// simlint-fixture: crates/core/src/example_draws.rs
+//! D4 firing cases: raw draws outside the trace modules.
+use sim_core::SplitMix64;
+
+fn draw(rng: &mut SplitMix64) -> (u64, f64) {
+    (rng.next_u64(), rng.next_f64()) //~ D4 D4
+}

@@ -1,0 +1,8 @@
+// simlint-fixture: crates/core/src/montecarlo.rs
+//! An approved trace module: raw draws are its job, and its draw order
+//! is pinned by the worker-invariance tests.
+use sim_core::SplitMix64;
+
+fn draw(rng: &mut SplitMix64) -> u64 {
+    rng.next_u64()
+}

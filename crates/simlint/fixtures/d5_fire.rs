@@ -1,0 +1,14 @@
+// simlint-fixture: crates/core/src/serve.rs
+//! D5 firing cases: unit-suffixed integers cast mid-hot-path.
+
+fn occupancy(busy_ps: u64, makespan_ps: u64) -> f64 {
+    busy_ps as f64 / makespan_ps as f64 //~ D5 D5
+}
+
+fn traffic(total_bytes: u64, cache_ops: u64) -> f64 {
+    total_bytes as f64 + cache_ops as f64 //~ D5 D5
+}
+
+fn widen(tokens: u64, busy_ps: u64) -> (f64, u128) {
+    (tokens as f64, busy_ps as u128) // not unit-suffixed / not f64: silent
+}

@@ -1,0 +1,6 @@
+// simlint-fixture: crates/core/src/report.rs
+//! Report construction is off the D5 hot path; casts are the point.
+
+fn seconds(busy_ps: u64) -> f64 {
+    busy_ps as f64 * 1e-12
+}

@@ -1,0 +1,10 @@
+// simlint-fixture: crates/flash-sim/src/strings.rs
+//! Rule text inside strings, raw strings, and comments never fires.
+
+/* Instant::now() in a block comment. HashMap too. */
+fn text() -> (&'static str, &'static str) {
+    (
+        "HashMap, SystemTime, rng.next_u64(), seed + 1",
+        r#"Instant::now() and .partial_cmp in a raw string"#,
+    )
+}

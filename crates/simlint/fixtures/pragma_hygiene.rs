@@ -1,0 +1,14 @@
+// simlint-fixture: crates/core/src/pragmas.rs
+//! Pragma hygiene: malformed and stale suppressions are findings.
+
+//~ P0
+fn a() -> u32 { 1 } // simlint: allow(D2)
+
+//~ P0
+fn b() -> u32 { 2 } // simlint: allow(*) — suppress everything
+
+//~ P0
+fn c() -> u32 { 3 } // simlint: allow(P1) — hygiene rules cannot be allowed
+
+//~ P1
+fn d() -> u32 { 4 } // simlint: allow(D4) — nothing here draws

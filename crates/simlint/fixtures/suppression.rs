@@ -1,0 +1,11 @@
+// simlint-fixture: crates/npu-sim/src/suppressed.rs
+//! A justified pragma consumes the finding and is itself silent.
+
+struct Memo {
+    // simlint: allow(D2) — lookup-only memo; never iterated, hash order cannot reach a report
+    map: std::collections::HashMap<u64, u64>,
+}
+
+fn peek(m: &Memo, k: u64) -> Option<u64> {
+    m.map.get(&k).copied()
+}

@@ -1,0 +1,126 @@
+//! Diagnostic type and the two output formats (human, `--json`).
+//!
+//! Output is deterministic: diagnostics are sorted by
+//! `(file, line, rule, message)` and files are discovered in sorted
+//! order, so two runs over the same tree are byte-identical — the lint
+//! holds itself to the invariant it enforces.
+
+/// One finding at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D1`..`D5`, `P0`, `P1`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// One-line explanation, including the matched snippet.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding.
+    pub fn new(rule: &'static str, file: &str, line: u32, msg: String) -> Self {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// Sorts into the canonical order and drops exact duplicates (two
+/// trigger patterns of one rule can overlap on a line).
+pub fn sort_dedup(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule, &a.msg).cmp(&(&b.file, b.line, b.rule, &b.msg)));
+    diags.dedup();
+}
+
+/// Renders the human-readable report.
+pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{}:{}: [{}] {}\n", d.file, d.line, d.rule, d.msg));
+    }
+    if diags.is_empty() {
+        out.push_str(&format!(
+            "simlint: clean — {files_scanned} files, 0 findings\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "simlint: {} finding(s) in {} files scanned\n",
+            diags.len(),
+            files_scanned
+        ));
+    }
+    out
+}
+
+/// Renders the `--json` report (stable field order, 2-space indent).
+pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"clean\": {},\n", diags.is_empty()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(d.rule),
+            escape(&d.file),
+            d.line,
+            escape(&d.msg)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_dedup() {
+        let mut v = vec![
+            Diagnostic::new("D2", "b.rs", 3, "x".into()),
+            Diagnostic::new("D1", "a.rs", 9, "y".into()),
+            Diagnostic::new("D1", "a.rs", 9, "y".into()),
+        ];
+        sort_dedup(&mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].file, "a.rs");
+    }
+
+    #[test]
+    fn json_escapes_and_is_parseable_shape() {
+        let v = vec![Diagnostic::new("D2", "a\"b.rs", 1, "say \"hi\"\n".into())];
+        let j = json(&v, 1);
+        assert!(j.contains("\\\"hi\\\"\\n"));
+        assert!(j.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,131 @@
+//! The `--fixtures` self-test: lints a corpus of known-good and
+//! known-bad sources and checks the diagnostics match the embedded
+//! expectations exactly.
+//!
+//! Each fixture is a standalone `.rs` file (not compiled into any
+//! target) whose first line declares the path it pretends to live at —
+//! rules are scope-sensitive, so a D2 fixture must claim a sim-crate
+//! path:
+//!
+//! ```text
+//! // simlint-fixture: crates/npu-sim/src/example.rs
+//! ```
+//!
+//! Expected findings are `//~ <RULE>` markers anchored like pragmas
+//! (trailing marker → its own line; standalone marker line → the next
+//! code line). A fixture with no markers must lint clean. The corpus
+//! is the rule catalog's regression suite: every rule has at least one
+//! firing fixture and one near-miss that must stay silent.
+
+use crate::engine;
+use crate::lexer;
+use crate::pragma;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of running the corpus: `Ok(summary)` when every fixture
+/// matched, `Err(report)` listing each mismatch otherwise.
+pub fn run(dir: &Path) -> Result<String, String> {
+    let mut files = match list_fixtures(dir) {
+        Ok(f) => f,
+        Err(e) => return Err(format!("cannot read fixtures dir {}: {e}", dir.display())),
+    };
+    if files.is_empty() {
+        return Err(format!("no fixtures found under {}", dir.display()));
+    }
+    files.sort();
+
+    let mut failures = Vec::new();
+    let mut expected_total = 0usize;
+    for path in &files {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<fixture>")
+            .to_string();
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match check_one(&name, &src) {
+            Ok(n) => expected_total += n,
+            Err(mut errs) => failures.append(&mut errs),
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(format!(
+            "fixtures pass: {} files, {} expected finding(s) reproduced, near-misses silent",
+            files.len(),
+            expected_total
+        ))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// Checks one fixture source; returns the number of expected findings
+/// on success.
+pub fn check_one(name: &str, src: &str) -> Result<usize, Vec<String>> {
+    let Some(first) = src.lines().next() else {
+        return Err(vec![format!("{name}: empty fixture")]);
+    };
+    let Some(rel) = first.trim().strip_prefix("// simlint-fixture:") else {
+        return Err(vec![format!(
+            "{name}: first line must be `// simlint-fixture: <pretend-path>`"
+        )]);
+    };
+    let rel = rel.trim();
+
+    let (_, markers) = pragma::extract(&lexer::lex(src));
+    let mut expected: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for m in &markers {
+        *expected.entry((m.rule.clone(), m.line)).or_insert(0) += 1;
+    }
+
+    let diags = engine::analyze(rel, src);
+    let mut actual: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for d in &diags {
+        *actual.entry((d.rule.to_string(), d.line)).or_insert(0) += 1;
+    }
+
+    let mut errs = Vec::new();
+    for ((rule, line), n) in &expected {
+        let got = actual.get(&(rule.clone(), *line)).copied().unwrap_or(0);
+        if got != *n {
+            errs.push(format!(
+                "{name}: expected {rule} x{n} at line {line}, got x{got}"
+            ));
+        }
+    }
+    for ((rule, line), n) in &actual {
+        if !expected.contains_key(&(rule.clone(), *line)) {
+            let msg = diags
+                .iter()
+                .find(|d| d.rule == rule && d.line == *line)
+                .map(|d| d.msg.as_str())
+                .unwrap_or("");
+            errs.push(format!(
+                "{name}: unexpected {rule} x{n} at line {line}: {msg}"
+            ));
+        }
+    }
+    if errs.is_empty() {
+        Ok(expected.values().sum())
+    } else {
+        Err(errs)
+    }
+}
+
+fn list_fixtures(dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+    Ok(fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "rs"))
+        .collect())
+}

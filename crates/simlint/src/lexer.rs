@@ -1,0 +1,517 @@
+//! A minimal, *total* Rust lexer: just enough token structure for the
+//! determinism rules to match identifiers and punctuation without ever
+//! firing inside string literals, char literals, or comments.
+//!
+//! Totality is a hard requirement — a lint that panics on weird source
+//! is worse than no lint — so the lexer walks a `Vec<char>` with
+//! bounds-checked access only, every branch advances the cursor, and a
+//! property test feeds it arbitrary byte soup. It understands the
+//! token shapes that matter for *not* mis-firing: cooked strings with
+//! escapes, byte strings, raw strings with any `#` count, raw
+//! identifiers, char literals vs lifetimes, nested block comments, and
+//! numeric literals (so `0.0` in a `fold` seed is one token).
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, ...).
+    Ident,
+    /// Numeric literal, including float/suffix forms (`0.0`, `1_000u64`).
+    Num,
+    /// String literal of any flavor (cooked, byte, raw). Rules never
+    /// match inside these; the text is kept only for debugging.
+    Str,
+    /// Char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (for `Str`, the body without delimiters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, kept separately from the code token stream so the
+/// pragma/marker parser can see it while rules cannot.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order. Comments are absent.
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn at(cs: &[char], i: usize) -> Option<char> {
+    cs.get(i).copied()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never panics, for any input.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (incl. doc comments).
+        if c == '/' && at(&cs, i + 1) == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && cs[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: cs[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment, nested, EOF-tolerant.
+        if c == '/' && at(&cs, i + 1) == Some('*') {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if cs[j] == '/' && at(&cs, j + 1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    j += 2;
+                    continue;
+                }
+                if cs[j] == '*' && at(&cs, j + 1) == Some('/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    j += 2;
+                    continue;
+                }
+                if cs[j] == '\n' {
+                    line += 1;
+                }
+                text.push(cs[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Raw strings, raw identifiers: r"..", r#".."#, r#ident.
+        if c == 'r' {
+            let mut k = i + 1;
+            let mut hashes = 0usize;
+            while at(&cs, k) == Some('#') {
+                hashes += 1;
+                k += 1;
+            }
+            if at(&cs, k) == Some('"') {
+                i = raw_string(&cs, k + 1, hashes, &mut line, &mut out);
+                continue;
+            }
+            if hashes == 1 && at(&cs, k).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`: lex the word itself.
+                let (j, text) = ident(&cs, k);
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Plain identifier starting with `r` (or stray `r##`).
+            let (j, text) = ident(&cs, i);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Byte strings / byte chars: b"..", br#".."#, b'x'.
+        if c == 'b' {
+            match at(&cs, i + 1) {
+                Some('"') => {
+                    i = cooked_string(&cs, i + 2, &mut line, &mut out);
+                    continue;
+                }
+                Some('\'') => {
+                    i = char_or_lifetime(&cs, i + 1, &mut line, &mut out);
+                    continue;
+                }
+                Some('r') => {
+                    let mut k = i + 2;
+                    let mut hashes = 0usize;
+                    while at(&cs, k) == Some('#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if at(&cs, k) == Some('"') {
+                        i = raw_string(&cs, k + 1, hashes, &mut line, &mut out);
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            let (j, text) = ident(&cs, i);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let (j, text) = ident(&cs, i);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let (j, text) = number(&cs, i);
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c == '"' {
+            i = cooked_string(&cs, i + 1, &mut line, &mut out);
+            continue;
+        }
+
+        if c == '\'' {
+            i = char_or_lifetime(&cs, i, &mut line, &mut out);
+            continue;
+        }
+
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Consumes an identifier starting at `i`; returns (next index, text).
+fn ident(cs: &[char], i: usize) -> (usize, String) {
+    let mut j = i;
+    let mut text = String::new();
+    while let Some(c) = at(cs, j) {
+        if is_ident_continue(c) {
+            text.push(c);
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if text.is_empty() {
+        // Defensive: callers guarantee an ident-start char at `i`, but
+        // stay total even if that invariant ever breaks.
+        if let Some(c) = at(cs, i) {
+            text.push(c);
+        }
+        j = i + 1;
+    }
+    (j, text)
+}
+
+/// Consumes a numeric literal starting at `i` (ascii digit).
+///
+/// Accepts the alnum/underscore body plus one `.` when it starts a
+/// fractional part (`2.0f64`) or closes a bare float (`0.` followed by
+/// a delimiter) — but leaves `0..n` ranges and `x.0.method()` intact.
+fn number(cs: &[char], i: usize) -> (usize, String) {
+    let mut j = i;
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(c) = at(cs, j) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            j += 1;
+            continue;
+        }
+        if c == '.' && !seen_dot {
+            let next = at(cs, j + 1);
+            let fractional = next.is_some_and(|d| d.is_ascii_digit());
+            let bare = !next.is_some_and(|d| d == '.' || is_ident_start(d));
+            if fractional || bare {
+                seen_dot = true;
+                text.push(c);
+                j += 1;
+                continue;
+            }
+        }
+        break;
+    }
+    (j, text)
+}
+
+/// Consumes a cooked string body; `j` is the index after the opening
+/// quote. Pushes a `Str` token; returns the index after the close.
+fn cooked_string(cs: &[char], mut j: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let start_line = *line;
+    let mut text = String::new();
+    while j < cs.len() {
+        match cs[j] {
+            '\\' => {
+                if let Some(e) = at(cs, j + 1) {
+                    if e == '\n' {
+                        *line += 1;
+                    }
+                    text.push(e);
+                }
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line: start_line,
+    });
+    j
+}
+
+/// Consumes a raw string body; `j` is the index after the opening
+/// quote, `hashes` the number of `#`s to match at the close.
+fn raw_string(cs: &[char], mut j: usize, hashes: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let start_line = *line;
+    let mut text = String::new();
+    while j < cs.len() {
+        if cs[j] == '"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if at(cs, j + 1 + h) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                j += 1 + hashes;
+                break;
+            }
+        }
+        if cs[j] == '\n' {
+            *line += 1;
+        }
+        text.push(cs[j]);
+        j += 1;
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line: start_line,
+    });
+    j
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal);
+/// `i` is the index of the quote. Char literals cannot span lines, so
+/// an unterminated one ends at the newline rather than swallowing the
+/// rest of the file.
+fn char_or_lifetime(cs: &[char], i: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let c1 = at(cs, i + 1);
+    // Lifetime: ident-start not immediately closed by a quote.
+    if c1.is_some_and(is_ident_start) && at(cs, i + 2) != Some('\'') {
+        let (j, text) = ident(cs, i + 1);
+        out.toks.push(Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line: *line,
+        });
+        return j;
+    }
+    // Char literal (possibly escaped, possibly malformed).
+    let start_line = *line;
+    let mut j = i + 1;
+    let mut text = String::new();
+    while j < cs.len() {
+        match cs[j] {
+            '\\' => {
+                if let Some(e) = at(cs, j + 1) {
+                    text.push(e);
+                }
+                j += 2;
+            }
+            '\'' => {
+                j += 1;
+                break;
+            }
+            '\n' => break,
+            c => {
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Char,
+        text,
+        line: start_line,
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_rule_text() {
+        let src = r##"
+            let s = "HashMap::new() and Instant::now()";
+            let r = r#"partial_cmp in a raw "string""#;
+            // HashMap in a line comment
+            /* Instant::now() in a /* nested */ block */
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "HashMap"));
+        assert!(!ids.iter().any(|t| t == "Instant"));
+        assert!(!ids.iter().any(|t| t == "partial_cmp"));
+        assert!(ids.iter().any(|t| t == "BTreeMap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_keep_float_shape() {
+        let nums: Vec<String> = lex(".fold(0.0, 2.5f64, 1_000, 0xFF, 0..10)")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["0.0", "2.5f64", "1_000", "0xFF", "0", "10"]);
+    }
+
+    #[test]
+    fn line_numbers_are_1_based_and_track_newlines() {
+        let src = "a\nb \"two\nline\"\nc";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn comments_record_start_line() {
+        let src = "x\n// pragma here\ny";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].text.trim(), "pragma here");
+    }
+
+    #[test]
+    fn unterminated_everything_is_total() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated raw",
+            "/* unterminated block",
+            "'u",
+            "'",
+            "b\"oops",
+            "br##\"oops",
+            "r#",
+        ] {
+            let _ = lex(src); // must not panic
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `simlint` — the workspace determinism lint.
+//!
+//! An offline, dependency-free static-analysis pass that mechanically
+//! enforces the simulator's bit-exactness invariants: the conventions
+//! every golden `ServeReport`, span-equivalence proof, Monte Carlo
+//! worker-invariance pin, and fault-replay test silently relies on.
+//! See [`rules`] for the catalog (D1–D5 plus the pragma hygiene pair),
+//! [`lexer`] for why rules never fire inside strings or comments, and
+//! [`pragma`] for the line-level, reason-mandatory suppression syntax.
+//!
+//! Run it with `just simlint` (or `cargo run --release -p simlint`);
+//! `--json` emits machine-readable findings, `--fixtures` self-tests
+//! the rule corpus, and a nonzero exit means the tree is not clean.
+
+pub mod diagnostics;
+pub mod engine;
+pub mod fixtures;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;

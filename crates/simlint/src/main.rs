@@ -1,0 +1,121 @@
+//! CLI entry point. Exit codes: 0 clean, 1 findings (or fixture
+//! failures), 2 usage/IO error.
+
+use simlint::{diagnostics, engine, fixtures, rules};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+simlint — workspace determinism lint
+
+USAGE: simlint [--json] [--fixtures] [--rules] [--root <path>]
+
+  (no flags)   lint every non-vendor workspace crate; exit 1 on findings
+  --json       machine-readable output
+  --fixtures   self-test the rule corpus under crates/simlint/fixtures
+  --rules      print the rule catalog
+  --root PATH  workspace root (default: nearest [workspace] Cargo.toml)
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut run_fixtures = false;
+    let mut print_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--fixtures" => run_fixtures = true,
+            "--rules" => print_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if print_rules {
+        for r in rules::CATALOG {
+            println!("{}  {:<40} {}", r.id, r.name, r.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root_arg.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if run_fixtures {
+        let dir = root.join("crates/simlint/fixtures");
+        return match fixtures::run(&dir) {
+            Ok(summary) => {
+                println!("simlint: {summary}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprintln!("simlint: fixture self-test FAILED\n{report}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    match engine::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", diagnostics::json(&report.diags, report.files_scanned));
+            } else {
+                print!(
+                    "{}",
+                    diagnostics::human(&report.diags, report.files_scanned)
+                );
+            }
+            if report.diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor (including the
+/// current directory) whose `Cargo.toml` contains `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir: &Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Ok(dir.to_path_buf());
+                }
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return Err("no [workspace] Cargo.toml above the current directory".into()),
+        }
+    }
+}

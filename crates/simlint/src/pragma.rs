@@ -1,0 +1,205 @@
+//! Inline suppression pragmas and fixture expectation markers.
+//!
+//! A violation that is *intended* carries a line pragma with a
+//! mandatory reason:
+//!
+//! ```text
+//! // simlint: allow(D2) — lookup-only memo; no iteration, hash order can't reach a report
+//! map: std::collections::HashMap<K, V>,
+//! ```
+//!
+//! A trailing pragma (`code // simlint: allow(...) — why`) covers its
+//! own line; a standalone pragma comment covers the next line holding
+//! code. There are deliberately no file- or module-level suppressions:
+//! every exception is visible at the line it excuses, and a pragma
+//! that excuses nothing is itself a finding ([`crate::rules`] P1), so
+//! suppressions cannot outlive the code they were written for.
+//!
+//! Fixture files additionally use `//~ D2` markers (same anchoring
+//! rules) to declare where a rule is expected to fire; markers are
+//! ignored outside the `--fixtures` self-test.
+
+use crate::lexer::Lexed;
+use std::collections::BTreeSet;
+
+/// One parsed `simlint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line of the pragma comment itself.
+    pub line: u32,
+    /// Line whose diagnostics the pragma suppresses.
+    pub applies_to: u32,
+    /// Rule ids the pragma names (possibly empty when malformed).
+    pub rules: Vec<String>,
+    /// `Some(problem)` when the pragma is malformed; such pragmas
+    /// suppress nothing and surface as a P0 finding.
+    pub problem: Option<String>,
+}
+
+/// One fixture expectation marker (`//~ D2`).
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// Line the marked rule must fire on.
+    pub line: u32,
+    /// The expected rule id.
+    pub rule: String,
+}
+
+/// Extracts pragmas and fixture markers from a lexed file.
+pub fn extract(lexed: &Lexed) -> (Vec<Pragma>, Vec<Marker>) {
+    let code_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let anchor = |line: u32| -> u32 {
+        if code_lines.contains(&line) {
+            line
+        } else {
+            code_lines
+                .range(line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(line + 1)
+        }
+    };
+
+    let mut pragmas = Vec::new();
+    let mut markers = Vec::new();
+    for c in &lexed.comments {
+        let t = c.text.trim();
+        if let Some(rest) = t.strip_prefix("simlint:") {
+            pragmas.push(parse_allow(rest, c.line, anchor(c.line)));
+        } else if let Some(rest) = t.strip_prefix('~') {
+            for id in rest.split([',', ' ']).filter(|s| !s.is_empty()) {
+                markers.push(Marker {
+                    line: anchor(c.line),
+                    rule: id.to_string(),
+                });
+            }
+        }
+    }
+    (pragmas, markers)
+}
+
+fn malformed(line: u32, applies_to: u32, problem: &str) -> Pragma {
+    Pragma {
+        line,
+        applies_to,
+        rules: Vec::new(),
+        problem: Some(problem.to_string()),
+    }
+}
+
+/// Parses the text after `simlint:`. Grammar:
+/// `allow(<id>[, <id>...]) — <non-empty reason>` (the separator may be
+/// an em dash, `--`, `-`, or `:`).
+fn parse_allow(rest: &str, line: u32, applies_to: u32) -> Pragma {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return malformed(
+            line,
+            applies_to,
+            "expected `simlint: allow(<rules>) — <reason>`",
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed(line, applies_to, "missing `(` after `allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed(line, applies_to, "missing `)` in rule list");
+    };
+    let ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    if ids.iter().any(String::is_empty) {
+        return malformed(line, applies_to, "empty rule list");
+    }
+    for id in &ids {
+        if id == "*" || id.eq_ignore_ascii_case("all") {
+            return malformed(
+                line,
+                applies_to,
+                "blanket suppression is not permitted; name the rule",
+            );
+        }
+        if !crate::rules::is_suppressible(id) {
+            return malformed(
+                line,
+                applies_to,
+                &format!("`{id}` is not a suppressible rule id"),
+            );
+        }
+    }
+    let mut reason = rest[close + 1..].trim_start();
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r;
+            break;
+        }
+    }
+    if reason.trim().is_empty() {
+        return malformed(
+            line,
+            applies_to,
+            "missing reason — every suppression must say why",
+        );
+    }
+    Pragma {
+        line,
+        applies_to,
+        rules: ids,
+        problem: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas_of(src: &str) -> Vec<Pragma> {
+        extract(&lex(src)).0
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let src = "let x = 1; // simlint: allow(D2) — lookup only\nlet y = 2;";
+        let p = pragmas_of(src);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].problem.is_none());
+        assert_eq!(p[0].rules, ["D2"]);
+        assert_eq!(p[0].applies_to, 1);
+    }
+
+    #[test]
+    fn standalone_pragma_covers_next_code_line() {
+        let src = "// simlint: allow(D1, D4) -- offline synthesis\n\nlet x = 1;";
+        let p = pragmas_of(src);
+        assert_eq!(p[0].rules, ["D1", "D4"]);
+        assert_eq!(p[0].applies_to, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let p = pragmas_of("// simlint: allow(D2)\nlet x = 1;");
+        assert!(p[0].problem.as_deref().unwrap().contains("reason"));
+    }
+
+    #[test]
+    fn blanket_and_unknown_rules_are_malformed() {
+        let p = pragmas_of("// simlint: allow(*) — everything\nlet x = 1;");
+        assert!(p[0].problem.as_deref().unwrap().contains("blanket"));
+        let p = pragmas_of("// simlint: allow(D9) — no such rule\nlet x = 1;");
+        assert!(p[0].problem.as_deref().unwrap().contains("D9"));
+        let p = pragmas_of("// simlint: allow(P0) — nice try\nlet x = 1;");
+        assert!(p[0].problem.is_some());
+    }
+
+    #[test]
+    fn markers_anchor_like_pragmas() {
+        let (_, m) = extract(&lex("//~ D1 D2\nlet x = 1; //~ D3\n"));
+        assert_eq!(m.len(), 3);
+        assert_eq!((m[0].rule.as_str(), m[0].line), ("D1", 2));
+        assert_eq!((m[1].rule.as_str(), m[1].line), ("D2", 2));
+        assert_eq!((m[2].rule.as_str(), m[2].line), ("D3", 2));
+    }
+}

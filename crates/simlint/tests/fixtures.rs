@@ -1,0 +1,118 @@
+//! The fixture corpus is the rule catalog's regression suite. This
+//! test runs it exactly as `simlint --fixtures` does, then pins each
+//! rule's exact `file:line` reporting with inline sources, and finally
+//! checks the workspace itself is clean (the tree is the last fixture:
+//! a finding sneaking into a real crate fails `cargo test`, not just
+//! CI's dedicated lint step).
+
+use simlint::{engine, fixtures};
+use std::path::Path;
+
+#[test]
+fn corpus_passes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    match fixtures::run(&dir) {
+        Ok(summary) => assert!(summary.contains("fixtures pass"), "odd summary: {summary}"),
+        Err(report) => panic!("fixture corpus failed:\n{report}"),
+    }
+}
+
+/// `(rule, line)` pairs for findings of `rule` in `src` at pretend
+/// path `rel`, asserting every finding names `rel` itself.
+fn hits(rel: &str, src: &str, rule: &str) -> Vec<u32> {
+    engine::analyze(rel, src)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| {
+            assert_eq!(d.file, rel, "finding must name the analyzed file");
+            d.line
+        })
+        .collect()
+}
+
+#[test]
+fn d1_reports_exact_location() {
+    let src = "use sim_core::SplitMix64;\n\
+               fn f(seed: u64) {\n\
+               \x20   let _ = SplitMix64::new(seed);\n\
+               }\n";
+    assert_eq!(hits("crates/core/src/x.rs", src, "D1"), vec![3]);
+    let arith = "fn f(seed: u64) -> u64 {\n    seed + 1\n}\n";
+    assert_eq!(hits("crates/core/src/x.rs", arith, "D1"), vec![2]);
+}
+
+#[test]
+fn d2_reports_exact_location() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+    assert_eq!(hits("crates/npu-sim/src/x.rs", src, "D2"), vec![2]);
+    // Same source in a non-sim crate: silent.
+    assert_eq!(hits("crates/bench/src/x.rs", src, "D2"), Vec::<u32>::new());
+}
+
+#[test]
+fn d3_reports_exact_location() {
+    let src = "fn f(v: &mut Vec<f64>) {\n\
+               \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               }\n\
+               fn g(v: &[f64]) -> f64 {\n\
+               \x20   v.iter().sum::<f64>()\n\
+               }\n";
+    assert_eq!(hits("crates/flash-sim/src/x.rs", src, "D3"), vec![2, 5]);
+}
+
+#[test]
+fn d4_reports_exact_location() {
+    let src = "fn f(r: &mut sim_core::SplitMix64) -> u64 {\n    r.next_u64()\n}\n";
+    assert_eq!(hits("crates/core/src/x.rs", src, "D4"), vec![2]);
+    // The trace modules own their draws.
+    assert_eq!(
+        hits("crates/core/src/montecarlo.rs", src, "D4"),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn d5_reports_exact_location() {
+    let src = "fn f(busy_ps: u64) -> f64 {\n    busy_ps as f64\n}\n";
+    assert_eq!(hits("crates/core/src/serve.rs", src, "D5"), vec![2]);
+    // Off the hot path: silent.
+    assert_eq!(
+        hits("crates/core/src/report.rs", src, "D5"),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn suppression_consumes_finding_and_hygiene_fires() {
+    let ok = "fn f(busy_ps: u64) -> f64 {\n\
+              \x20   // simlint: allow(D5) — report boundary\n\
+              \x20   busy_ps as f64\n\
+              }\n";
+    assert!(engine::analyze("crates/core/src/serve.rs", ok).is_empty());
+
+    let stale = "fn f() {} // simlint: allow(D5) — excuses nothing\n";
+    assert_eq!(hits("crates/core/src/serve.rs", stale, "P1"), vec![1]);
+
+    let blanket = "fn f(busy_ps: u64) -> f64 {\n\
+                   \x20   // simlint: allow(*) — everything\n\
+                   \x20   busy_ps as f64\n\
+                   }\n";
+    assert_eq!(hits("crates/core/src/serve.rs", blanket, "P0"), vec![2]);
+    // The malformed pragma suppresses nothing: D5 still fires.
+    assert_eq!(hits("crates/core/src/serve.rs", blanket, "D5"), vec![3]);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = engine::lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.diags.is_empty(),
+        "workspace has simlint findings:\n{}",
+        simlint::diagnostics::human(&report.diags, report.files_scanned)
+    );
+    assert!(report.files_scanned > 50, "scan missed the crates");
+}

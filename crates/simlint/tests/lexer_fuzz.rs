@@ -1,0 +1,45 @@
+//! Totality: the lexer and the whole analyze pipeline must never
+//! panic, whatever bytes they are fed — simlint runs on every tree
+//! state, including mid-edit garbage.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = simlint::lexer::lex(&src);
+        // Every token consumes at least one input character.
+        prop_assert!(lexed.toks.len() <= src.chars().count());
+    }
+
+    #[test]
+    fn analyze_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = simlint::engine::analyze("crates/core/src/fuzz.rs", &src);
+    }
+
+    #[test]
+    fn lexer_total_on_almost_rust(toks in proptest::collection::vec(
+        prop_oneof![
+            Just("fn f".to_string()),
+            Just("\"open".to_string()),
+            Just("r#\"raw".to_string()),
+            Just("/* nest".to_string()),
+            Just("'c'".to_string()),
+            Just("'life".to_string()),
+            Just("0.5e".to_string()),
+            Just("// simlint: allow(".to_string()),
+            Just("//~ D".to_string()),
+        ],
+        0..24,
+    )) {
+        // Truncated constructs — unterminated strings, half-open raw
+        // strings, dangling comments and pragmas — are the lexer's
+        // hard cases; gluing them together must still terminate.
+        let src = toks.concat();
+        let _ = simlint::engine::analyze("crates/core/src/fuzz.rs", &src);
+    }
+}

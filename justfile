@@ -33,6 +33,13 @@ repro target="all":
 lint:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
+    just simlint
+
+# The determinism lint: self-test the rule corpus, then lint the tree
+# (see README "Determinism lint" for the D1–D5 rule catalog).
+simlint:
+    cargo run --release -p simlint -- --fixtures
+    cargo run --release -p simlint
 
 # Auto-format the workspace.
 fmt:
