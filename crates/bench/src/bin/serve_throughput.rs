@@ -29,7 +29,16 @@
 //!    age) recording goodput vs. wear, then the [`WearTrajectory`]
 //!    driver replaying days of traffic with read-disturb feedback
 //!    until deadline goodput falls below half the fresh value —
-//!    the days-until-SLO-violation figure.
+//!    the days-until-SLO-violation figure;
+//! 7. **fleet** (`--fleet <replicas>`) — one heavy Poisson arrival
+//!    trace routed across a replica ladder (1, 2, …, `<replicas>`) of
+//!    [`FleetEngine`] devices, recording aggregate simulated tokens
+//!    per wall-second per rung plus a router-policy comparison at the
+//!    full width. The single-device rung drowns in overlapping
+//!    requests (no solo spans — every token is a scheduling event);
+//!    routing thins each replica's arrivals until decodes run solo and
+//!    span fast-forwarding coalesces them, so the ladder's speedup is
+//!    simulation efficiency, not thread parallelism.
 //!
 //! Each variant reports best/mean/**median** over the iterations —
 //! the raw arrays routinely carry ~35% scheduler outliers, which the
@@ -40,16 +49,20 @@
 //! ```text
 //! serve_throughput [--iters N] [--clients N] [--tokens N]
 //!                  [--long-tokens N] [--monte-carlo N]
-//!                  [--faults AGE_DAYS] [--out PATH]
+//!                  [--faults AGE_DAYS] [--fleet REPLICAS] [--out PATH]
 //! ```
 
 use bench::Json;
+use cambricon_llm::fleet::{FleetEngine, Interconnect, RouterPolicy};
 use cambricon_llm::montecarlo::MonteCarlo;
 use cambricon_llm::reliability::{FaultConfig, FaultMode, WearTrajectory};
-use cambricon_llm::serve::{PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode};
+use cambricon_llm::serve::{
+    DeviceEngine, PrefillMode, SchedulePolicy, ServeEngine, ServeReport, SpanMode,
+};
 use cambricon_llm::SystemConfig;
 use flash_sim::FlashAge;
 use llm_workload::{zoo, ArrivalTrace, RequestShape};
+use sim_core::SimTime;
 use std::time::Instant;
 
 struct Args {
@@ -59,6 +72,7 @@ struct Args {
     long_tokens: usize,
     monte_carlo: usize,
     faults: Option<f64>,
+    fleet: Option<usize>,
     out: String,
 }
 
@@ -70,6 +84,7 @@ fn parse_args() -> Args {
         long_tokens: 512,
         monte_carlo: 32,
         faults: None,
+        fleet: None,
         out: "BENCH_serving.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +112,9 @@ fn parse_args() -> Args {
             "--faults" => {
                 args.faults = Some(value("--faults").parse().expect("--faults: age in days"))
             }
+            "--fleet" => {
+                args.fleet = Some(value("--fleet").parse().expect("--fleet: replica count"))
+            }
             "--out" => args.out = value("--out"),
             other => {
                 eprintln!("unknown flag {other}; see the doc comment for usage");
@@ -110,6 +128,10 @@ fn parse_args() -> Args {
     assert!(
         !args.faults.is_some_and(|d| d <= 0.0),
         "--faults must be a positive number of days"
+    );
+    assert!(
+        !args.fleet.is_some_and(|r| r == 0),
+        "--fleet must be at least 1 replica"
     );
     args
 }
@@ -223,6 +245,130 @@ fn reliability_section(
                 .field("steps_run", wear.points.len())
                 .field("days_until_slo", days_until),
         )
+}
+
+/// The replica ladder of the fleet variant (`--fleet`): one heavy
+/// Poisson trace routed across 1, 2, …, `replicas_max` device
+/// replicas, each rung measured in aggregate simulated tokens per
+/// wall-second, plus a router-policy comparison at the full width.
+fn fleet_section(
+    replicas_max: usize,
+    iters: usize,
+    cfg: SystemConfig,
+    model: &llm_workload::ModelSpec,
+    long_tokens: usize,
+) -> Json {
+    // Heavy enough to drown one device (offered load ~2.3x a single
+    // replica's decode capacity at 512 tokens/request on L), light
+    // enough that a 4-way split leaves each replica mostly solo — the
+    // regime where routing converts queueing into coalesced spans.
+    const FLEET_SEED: u64 = 0xF1EE7;
+    let requests = 4 * replicas_max;
+    let shape = RequestShape::new(1000, long_tokens);
+    let trace = ArrivalTrace::poisson(0.03, requests, shape, FLEET_SEED);
+    let hop = SimTime::from_micros(50);
+    println!(
+        "fleet: {} poisson arrivals (rate 0.03/s, seed {FLEET_SEED:#x}) x {} tokens, \
+         replica ladder to {}, 50 us hops",
+        requests, long_tokens, replicas_max
+    );
+
+    let measure_fleet = |replicas: usize, router: RouterPolicy| {
+        let device = DeviceEngine::new(cfg, model.clone());
+        let fleet = FleetEngine::new(device, replicas)
+            .with_router(router)
+            .with_interconnect(Interconnect::symmetric(hop));
+        let warm = fleet.run(&trace, SchedulePolicy::Fcfs);
+        let tokens = warm.tokens_served;
+        let mut rates = Vec::with_capacity(iters);
+        for i in 0..iters {
+            // Wall-clock measurement is this harness's purpose.
+            #[allow(clippy::disallowed_methods)]
+            let t0 = Instant::now();
+            let rep = fleet.run(&trace, SchedulePolicy::Fcfs);
+            let wall = t0.elapsed().as_secs_f64();
+            assert_eq!(rep, warm, "non-deterministic fleet run");
+            let rate = tokens as f64 / wall;
+            println!(
+                "  fleet x{replicas} ({}) iter {i}: {wall:.4} s wall, {rate:.0} simulated tokens/s",
+                router.label()
+            );
+            rates.push(rate);
+        }
+        (warm, WallStats::of(rates))
+    };
+
+    let row = |replicas: usize, router: RouterPolicy| {
+        let (warm, stats) = measure_fleet(replicas, router);
+        println!(
+            "fleet x{replicas} ({}): sim {:.2} tok/s, ttft p99 {:.2} s, imbalance {:.2}; \
+             median {:.0} tok/s-wall",
+            router.label(),
+            warm.tokens_per_sec,
+            warm.ttft_p99_s,
+            warm.load_imbalance,
+            stats.median,
+        );
+        let json = stats.fields(
+            Json::obj()
+                .field("replicas", replicas)
+                .field("router", router.label())
+                .field("sim_tokens_per_sec", Json::float(warm.tokens_per_sec, 4))
+                .field("sim_ttft_p99_s", Json::float(warm.ttft_p99_s, 4))
+                .field("load_imbalance", Json::float(warm.load_imbalance, 4)),
+        );
+        (json, stats)
+    };
+
+    // Replica ladder under the round-robin router: 1, 2, 4, … to max.
+    let mut ladder = vec![1usize];
+    while *ladder.last().expect("seeded") < replicas_max {
+        ladder.push((ladder.last().expect("seeded") * 2).min(replicas_max));
+    }
+    let mut rungs = Vec::new();
+    let mut single_median = 0.0;
+    let mut full_median = 0.0;
+    for &replicas in &ladder {
+        let (json, stats) = row(replicas, RouterPolicy::RoundRobin);
+        if replicas == 1 {
+            single_median = stats.median;
+        }
+        if replicas == replicas_max {
+            full_median = stats.median;
+        }
+        rungs.push(json);
+    }
+    let speedup = full_median / single_median;
+    println!(
+        "fleet speedup x{replicas_max} vs x1: {speedup:.2}x \
+         (arrival thinning -> coalesced solo spans)"
+    );
+
+    // Router-policy comparison at the full width: same trace, same
+    // replicas, only the dispatch decision changes. The odd session
+    // count is deliberate — `sessions % replicas != 0` is where
+    // affinity trades balance for locality.
+    let mut policies = Vec::new();
+    for router in [
+        RouterPolicy::LeastLoaded,
+        RouterPolicy::SessionAffinity {
+            sessions: (2 * replicas_max).max(3) - 1,
+        },
+    ] {
+        let (json, _) = row(replicas_max, router);
+        policies.push(json);
+    }
+
+    Json::obj()
+        .field("requests", requests)
+        .field("new_tokens", long_tokens)
+        .field("arrival_rate_per_sec", Json::float(0.03, 3))
+        .field("seed", FLEET_SEED)
+        .field("hop_us", 50u64)
+        .field("policy", "Fcfs")
+        .field("ladder", Json::array(rungs))
+        .field("router_comparison", Json::array(policies))
+        .field("speedup_vs_single_median", Json::float(speedup, 2))
 }
 
 /// Wall-clock statistics of one measured variant, in
@@ -560,6 +706,13 @@ fn main() {
         Some(age_days) => doc.field(
             "reliability",
             reliability_section(age_days, cfg, &model, &trace, &warm),
+        ),
+        None => doc,
+    };
+    let doc = match args.fleet {
+        Some(replicas) => doc.field(
+            "fleet",
+            fleet_section(replicas, args.iters, cfg, &model, args.long_tokens),
         ),
         None => doc,
     };

@@ -10,6 +10,8 @@
 //!   flash+NPU via hardware-aware tiling, KV work on NPU/DRAM, SFU ops);
 //! * [`serve`] — the multi-request serving engine (request queue,
 //!   FCFS/round-robin scheduling, fleet-shared GeMV memoization);
+//! * [`fleet`] — N device replicas behind a cluster router with an
+//!   explicit interconnect, merged into cluster-level percentiles;
 //! * [`energy`] — the Figure 16 data-movement energy model;
 //! * [`cost`] / [`area`] — Tables I/IV/V (BOM cost, compute-core area);
 //! * [`roofline`] — Figures 1(a)/3(a);
@@ -36,6 +38,7 @@ pub mod area;
 pub mod config;
 pub mod cost;
 pub mod energy;
+pub mod fleet;
 pub mod functional;
 pub mod montecarlo;
 pub mod prefill;
@@ -50,6 +53,7 @@ pub use area::{AreaModel, CoreAreaReport};
 pub use config::SystemConfig;
 pub use cost::{cambricon_bom, table_i, traditional_bom, Bom, Prices};
 pub use energy::EnergyModel;
+pub use fleet::{FleetEngine, FleetReport, Interconnect, RouterPolicy};
 pub use functional::{gemv_through_flash, reference_gemv, FunctionalResult};
 pub use montecarlo::{MonteCarlo, MonteCarloReport};
 pub use prefill::{
@@ -61,7 +65,8 @@ pub use reliability::{
 };
 pub use roofline::{attainable_gops, cambricon_point, smartphone_npu_point, RooflinePoint};
 pub use serve::{
-    PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine, ServeReport, SpanMode,
+    DeviceEngine, PrefillMode, RequestQueue, RequestReport, SchedulePolicy, ServeEngine,
+    ServeReport, SpanMode,
 };
 pub use sweep::{smallest_config_reaching, sweep_channels, sweep_chips, SweepPoint};
 pub use system::{GemvCache, OpClass, OpCost, PrefillCost, System, TokenReport, TrafficBreakdown};

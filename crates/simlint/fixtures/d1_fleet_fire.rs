@@ -1,0 +1,13 @@
+// simlint-fixture: crates/core/src/fleet.rs
+//! D1 in the fleet layer: per-replica fault streams derived with seed
+//! arithmetic hand adjacent replicas overlapping SplitMix64 sequences
+//! — the exact bug class the fleet engine must avoid.
+use sim_core::SplitMix64;
+
+fn replica_seeds(seed: u64, replicas: usize) -> Vec<u64> {
+    (0..replicas as u64).map(|replica| seed + replica).collect() //~ D1
+}
+
+fn replica_stream(seed: u64, replica: u64) -> SplitMix64 {
+    SplitMix64::new(seed ^ replica) //~ D1 D1
+}

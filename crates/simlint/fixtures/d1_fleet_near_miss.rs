@@ -1,0 +1,17 @@
+// simlint-fixture: crates/core/src/fleet.rs
+//! The sanctioned shape of per-replica seed derivation: one
+//! `split_seeds` call fans the root out into independent streams, and
+//! assigning a derived seed into a config field is not arithmetic.
+use sim_core::SplitMix64;
+
+struct ReplicaCfg {
+    seed: u64,
+}
+
+fn replica_cfgs(root_seed: u64, replicas: usize) -> Vec<ReplicaCfg> {
+    let seeds = SplitMix64::split_seeds(root_seed, replicas);
+    seeds
+        .into_iter()
+        .map(|replica_seed| ReplicaCfg { seed: replica_seed })
+        .collect()
+}

@@ -1,4 +1,4 @@
-// simlint-fixture: crates/core/src/serve.rs
+// simlint-fixture: crates/core/src/serve/device.rs
 //! D5 firing cases: unit-suffixed integers cast mid-hot-path.
 
 fn occupancy(busy_ps: u64, makespan_ps: u64) -> f64 {

@@ -129,7 +129,11 @@ pub const SEED_STREAM_MODULES: &[&str] = &[
 const FLOAT_SUM_HOME: &str = "crates/sim-core/src/stats.rs";
 
 /// The serve/system hot path watched by D5.
-const UNIT_HOT_PATH: &[&str] = &["crates/core/src/serve.rs", "crates/core/src/system.rs"];
+const UNIT_HOT_PATH: &[&str] = &[
+    "crates/core/src/serve/mod.rs",
+    "crates/core/src/serve/device.rs",
+    "crates/core/src/system.rs",
+];
 
 /// Runs every rule over one analyzed file.
 pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {

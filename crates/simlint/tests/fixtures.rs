@@ -74,7 +74,7 @@ fn d4_reports_exact_location() {
 #[test]
 fn d5_reports_exact_location() {
     let src = "fn f(busy_ps: u64) -> f64 {\n    busy_ps as f64\n}\n";
-    assert_eq!(hits("crates/core/src/serve.rs", src, "D5"), vec![2]);
+    assert_eq!(hits("crates/core/src/serve/device.rs", src, "D5"), vec![2]);
     // Off the hot path: silent.
     assert_eq!(
         hits("crates/core/src/report.rs", src, "D5"),
@@ -88,18 +88,27 @@ fn suppression_consumes_finding_and_hygiene_fires() {
               \x20   // simlint: allow(D5) — report boundary\n\
               \x20   busy_ps as f64\n\
               }\n";
-    assert!(engine::analyze("crates/core/src/serve.rs", ok).is_empty());
+    assert!(engine::analyze("crates/core/src/serve/device.rs", ok).is_empty());
 
     let stale = "fn f() {} // simlint: allow(D5) — excuses nothing\n";
-    assert_eq!(hits("crates/core/src/serve.rs", stale, "P1"), vec![1]);
+    assert_eq!(
+        hits("crates/core/src/serve/device.rs", stale, "P1"),
+        vec![1]
+    );
 
     let blanket = "fn f(busy_ps: u64) -> f64 {\n\
                    \x20   // simlint: allow(*) — everything\n\
                    \x20   busy_ps as f64\n\
                    }\n";
-    assert_eq!(hits("crates/core/src/serve.rs", blanket, "P0"), vec![2]);
+    assert_eq!(
+        hits("crates/core/src/serve/device.rs", blanket, "P0"),
+        vec![2]
+    );
     // The malformed pragma suppresses nothing: D5 still fires.
-    assert_eq!(hits("crates/core/src/serve.rs", blanket, "D5"), vec![3]);
+    assert_eq!(
+        hits("crates/core/src/serve/device.rs", blanket, "D5"),
+        vec![3]
+    );
 }
 
 #[test]

@@ -11,9 +11,14 @@
 //! the per-request FCFS plateau until the in-flash compute ceiling
 //! binds (~2.9× here), with KV-capacity admission control gating what
 //! joins the batch. Then an open-loop Poisson trace, the classic
-//! serving study — and finally the same Poisson scenario as a Monte
-//! Carlo batch across seeded arrival traces, turning the single-draw
-//! report into mean ± 95% CI estimates.
+//! serving study — then the same Poisson scenario as a Monte Carlo
+//! batch across seeded arrival traces, turning the single-draw report
+//! into mean ± 95% CI estimates — and finally a fleet ladder: the one
+//! Poisson trace routed across 1, 2, and 4 device replicas behind a
+//! cluster router, showing how replication drains the queueing that
+//! dominates the single device's TTFT p99, and how the routing policy
+//! (round-robin vs least-loaded vs session-affinity) moves that tail
+//! on the identical trace.
 //!
 //! ```text
 //! cargo run --release --example serving_70b [-- <tokens_per_request>]
@@ -157,4 +162,42 @@ fn main() {
         |seed| ArrivalTrace::poisson(0.4, 8, shape, seed),
     );
     println!("{}", report.summary());
+
+    // Fleet ladder: the same heavy Poisson trace routed across 1, 2,
+    // and 4 replicas of the device behind a cluster router with 50 us
+    // interconnect hops. One device drowns (TTFT p99 is pure queueing);
+    // each doubling of the fleet thins every replica's arrivals and the
+    // tail collapses. The router-policy rows then hold the fleet at 4
+    // replicas and change only the dispatch decision — session affinity
+    // (3 sessions on 4 replicas) deliberately trades balance for
+    // locality, and the imbalance shows up straight in the tail.
+    println!("\nFleet ladder (16 Poisson arrivals at 0.4 req/s, FCFS devices, 50 us hops):");
+    let fleet_trace = ArrivalTrace::poisson(0.4, 16, shape, 2024);
+    println!(
+        "{:<12} {:<18} {:>9} {:>12} {:>12} {:>11}",
+        "replicas", "router", "tok/s", "ttft p50 s", "ttft p99 s", "imbalance"
+    );
+    println!("{}", "-".repeat(88));
+    let mut rows = vec![
+        (1usize, RouterPolicy::RoundRobin),
+        (2, RouterPolicy::RoundRobin),
+        (4, RouterPolicy::RoundRobin),
+        (4, RouterPolicy::LeastLoaded),
+        (4, RouterPolicy::SessionAffinity { sessions: 3 }),
+    ];
+    for (replicas, router) in rows.drain(..) {
+        let fleet = FleetEngine::new(DeviceEngine::new(cfg, model.clone()), replicas)
+            .with_router(router)
+            .with_interconnect(Interconnect::symmetric(sim_core::SimTime::from_micros(50)));
+        let rep = fleet.run(&fleet_trace, SchedulePolicy::Fcfs);
+        println!(
+            "{:<12} {:<18} {:>9.2} {:>12.2} {:>12.2} {:>10.2}x",
+            replicas,
+            router.label(),
+            rep.tokens_per_sec,
+            rep.ttft_p50_s,
+            rep.ttft_p99_s,
+            rep.load_imbalance,
+        );
+    }
 }

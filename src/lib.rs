@@ -29,9 +29,10 @@ pub use tiling;
 pub mod prelude {
     pub use baselines::{BaselineError, FlexGen, MlcLlm};
     pub use cambricon_llm::{
-        EnergyModel, FaultConfig, FaultMode, MonteCarlo, MonteCarloReport, PrefillMode,
-        ReliabilitySummary, SchedulePolicy, ServeEngine, ServeReport, SpanMode, System,
-        SystemConfig, WearReport, WearTrajectory,
+        DeviceEngine, EnergyModel, FaultConfig, FaultMode, FleetEngine, FleetReport, Interconnect,
+        MonteCarlo, MonteCarloReport, PrefillMode, ReliabilitySummary, RouterPolicy,
+        SchedulePolicy, ServeEngine, ServeReport, SpanMode, System, SystemConfig, WearReport,
+        WearTrajectory,
     };
     pub use flash_sim::{SlicePolicy, Topology};
     pub use llm_workload::{zoo, ArrivalTrace, Quant, RequestShape};

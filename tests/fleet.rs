@@ -1,0 +1,228 @@
+//! Fleet-scale serving invariants: the single-replica fleet golden
+//! (router + interconnect at zero cost must reproduce `ServeEngine`
+//! bit for bit), worker-count independence of the merged report, and a
+//! proptest pinning the cluster aggregates to the deterministic
+//! replica-major merge of the per-replica reports.
+
+use cambricon_llm_repro::prelude::*;
+use flash_sim::FlashAge;
+use proptest::prelude::*;
+use sim_core::{Samples, SimTime};
+
+fn device(prefill: PrefillMode) -> DeviceEngine {
+    DeviceEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b()).with_prefill(prefill)
+}
+
+fn poisson(rate: f64, n: usize, seed: u64) -> ArrivalTrace {
+    ArrivalTrace::poisson(rate, n, RequestShape::new(128, 4), seed)
+}
+
+/// A one-replica fleet with a free interconnect and cold per-replica
+/// systems is the identity wrapper: every field of its single replica
+/// report — virtual timestamps, utilizations, traffic, cache counters —
+/// must equal `ServeEngine::run` on the same trace, for every schedule
+/// policy and prefill mode. Pins the admission/trace-feeding move from
+/// the device loop up to the scheduler boundary as a pure refactor.
+#[test]
+fn one_replica_fleet_reproduces_serve_engine_bit_for_bit() {
+    let policies = [
+        SchedulePolicy::Fcfs,
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::ContinuousBatch { max_batch: 4 },
+    ];
+    let trace = poisson(30.0, 10, 42);
+    for prefill in [PrefillMode::Off, PrefillMode::Modeled] {
+        for policy in policies {
+            let solo = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+                .with_prefill(prefill)
+                .run(&trace, policy);
+            let fleet = FleetEngine::new(device(prefill), 1)
+                .with_cold_systems()
+                .run(&trace, policy);
+            assert_eq!(
+                fleet.per_replica[0], solo,
+                "fleet wrapper drifted from ServeEngine ({policy:?}, {prefill:?})"
+            );
+            assert_eq!(fleet.requests_served, solo.requests_served);
+            assert_eq!(fleet.tokens_served, solo.tokens_served);
+            assert_eq!(fleet.load_imbalance, 1.0);
+        }
+    }
+}
+
+/// Warm-system sharing (the default) may only change cache accounting:
+/// every simulated timestamp, utilization, and traffic number must
+/// match the cold-system run exactly — the same trade `MonteCarlo`
+/// makes when sharing one pre-warmed system across seeds.
+#[test]
+fn warm_sharing_changes_only_cache_counters() {
+    let trace = poisson(40.0, 12, 7);
+    let policy = SchedulePolicy::Fcfs;
+    let warm = FleetEngine::new(device(PrefillMode::Off), 2).run(&trace, policy);
+    let cold = FleetEngine::new(device(PrefillMode::Off), 2)
+        .with_cold_systems()
+        .run(&trace, policy);
+    for (w, c) in warm.per_replica.iter().zip(&cold.per_replica) {
+        assert_eq!(
+            w.requests, c.requests,
+            "timestamps drifted under warm sharing"
+        );
+        assert_eq!(w.makespan, c.makespan);
+        assert_eq!(w.tokens_served, c.tokens_served);
+        assert_eq!(w.traffic, c.traffic);
+        assert_eq!(w.flash_utilization, c.flash_utilization);
+        assert_eq!(w.npu_utilization, c.npu_utilization);
+    }
+    assert_eq!(warm.makespan, cold.makespan);
+    assert_eq!(warm.ttft_p99_s, cold.ttft_p99_s);
+    assert_eq!(warm.tokens_per_sec, cold.tokens_per_sec);
+}
+
+/// The merged report is bit-identical at any worker-thread count —
+/// replica runs are independent between router boundaries and the
+/// merge reads them positionally, so threading only trades wall-clock.
+/// Faults are on so the per-replica seed derivation is exercised too.
+#[test]
+fn fleet_report_is_bit_identical_at_any_thread_count() {
+    let trace = poisson(60.0, 16, 99);
+    let policy = SchedulePolicy::RoundRobin;
+    let faults = FaultMode::Injected(FaultConfig::aged(FlashAge::worn_out()));
+    let run = |threads: usize| {
+        FleetEngine::new(device(PrefillMode::Off).with_faults(faults), 4)
+            .with_router(RouterPolicy::LeastLoaded)
+            .with_interconnect(Interconnect::symmetric(SimTime::from_micros(20)))
+            .with_threads(threads)
+            .run(&trace, policy)
+    };
+    let one = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            run(threads),
+            one,
+            "report drifted at {threads} worker threads"
+        );
+    }
+}
+
+/// Distinct replicas must draw from distinct fault streams: with
+/// faults injected, at least two replicas of a routed fleet should
+/// disagree on reread counts or timings (split seeds, not clones).
+/// Mid-life wear keeps the per-window ECC failure probability strictly
+/// inside (0, 1) — at `worn_out()` it saturates and the reread cascade
+/// goes deterministic, which would hide a shared stream.
+#[test]
+fn fault_streams_differ_across_replicas() {
+    let trace = ArrivalTrace::poisson(80.0, 24, RequestShape::new(512, 8), 5);
+    let mid_life = FlashAge {
+        pe_cycles: 1_200,
+        retention_days: 60.0,
+    };
+    let engine =
+        device(PrefillMode::Off).with_faults(FaultMode::Injected(FaultConfig::aged(mid_life)));
+    let fleet = FleetEngine::new(engine, 2).run(&trace, SchedulePolicy::Fcfs);
+    let a = &fleet.per_replica[0].reliability;
+    let b = &fleet.per_replica[1].reliability;
+    assert_ne!(
+        (a.page_rereads, a.fault_extra_flash_s.to_bits()),
+        (b.page_rereads, b.fault_extra_flash_s.to_bits()),
+        "replicas replayed the same fault stream"
+    );
+}
+
+/// Recomputes the replica-major merge of a [`FleetReport`] from its
+/// `per_replica` reports, in the exact operation order the engine
+/// uses, so equality is bit-for-bit.
+fn remerge(report: &FleetReport) -> (usize, u64, u64, SimTime, f64, [f64; 5], f64) {
+    let round_trip = report.interconnect.dispatch_hop + report.interconnect.response_hop;
+    let mut ttft = Samples::new();
+    let mut token_latency = Samples::new();
+    let mut first_arrival: Option<SimTime> = None;
+    let mut last_response = SimTime::ZERO;
+    for rep in &report.per_replica {
+        for r in &rep.requests {
+            ttft.push((r.ttft() + round_trip).as_secs_f64());
+            token_latency.push(r.mean_token_latency().as_secs_f64());
+            let at_cluster = r.arrived.saturating_sub(report.interconnect.dispatch_hop);
+            first_arrival = Some(first_arrival.map_or(at_cluster, |f| f.min(at_cluster)));
+            last_response = last_response.max(r.finished + report.interconnect.response_hop);
+        }
+    }
+    let makespan = first_arrival.map_or(SimTime::ZERO, |f| last_response.saturating_sub(f));
+    let horizon = makespan.as_secs_f64();
+    let requests: usize = report.per_replica.iter().map(|r| r.requests_served).sum();
+    let tokens: u64 = report.per_replica.iter().map(|r| r.tokens_served).sum();
+    let goodput: u64 = report
+        .per_replica
+        .iter()
+        .map(|r| r.reliability.goodput_tokens)
+        .sum();
+    let peak = report
+        .per_replica
+        .iter()
+        .map(|r| r.tokens_served)
+        .max()
+        .unwrap_or(0);
+    let mean = tokens as f64 / report.replicas as f64;
+    let imbalance = if mean > 0.0 { peak as f64 / mean } else { 1.0 };
+    (
+        requests,
+        tokens,
+        goodput,
+        makespan,
+        if horizon > 0.0 {
+            tokens as f64 / horizon
+        } else {
+            0.0
+        },
+        [
+            ttft.percentile(50.0).unwrap_or(0.0),
+            ttft.percentile(99.0).unwrap_or(0.0),
+            ttft.mean().unwrap_or(0.0),
+            token_latency.percentile(50.0).unwrap_or(0.0),
+            token_latency.percentile(99.0).unwrap_or(0.0),
+        ],
+        imbalance,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cluster aggregates are a pure function of the per-replica
+    /// reports: recomputing the merge must reproduce every aggregate
+    /// exactly, for any replica count, router policy, and hop cost.
+    #[test]
+    fn cluster_aggregates_equal_replica_merge(
+        seed in 0u64..1_000,
+        n in 4usize..14,
+        replicas in 1usize..5,
+        router_pick in 0usize..3,
+        hop_us in 0u64..100,
+    ) {
+        let router = match router_pick {
+            0 => RouterPolicy::RoundRobin,
+            1 => RouterPolicy::LeastLoaded,
+            _ => RouterPolicy::SessionAffinity { sessions: 3 },
+        };
+        let trace = poisson(50.0, n, seed);
+        let report = FleetEngine::new(device(PrefillMode::Off), replicas)
+            .with_router(router)
+            .with_interconnect(Interconnect::symmetric(SimTime::from_micros(hop_us)))
+            .run(&trace, SchedulePolicy::Fcfs);
+
+        let (requests, tokens, goodput, makespan, tps, latencies, imbalance) =
+            remerge(&report);
+        prop_assert_eq!(report.requests_served, requests);
+        prop_assert_eq!(report.requests_served, n);
+        prop_assert_eq!(report.tokens_served, tokens);
+        prop_assert_eq!(report.goodput_tokens, goodput);
+        prop_assert_eq!(report.makespan, makespan);
+        prop_assert_eq!(report.tokens_per_sec, tps);
+        prop_assert_eq!(report.ttft_p50_s, latencies[0]);
+        prop_assert_eq!(report.ttft_p99_s, latencies[1]);
+        prop_assert_eq!(report.ttft_mean_s, latencies[2]);
+        prop_assert_eq!(report.token_latency_p50_s, latencies[3]);
+        prop_assert_eq!(report.token_latency_p99_s, latencies[4]);
+        prop_assert_eq!(report.load_imbalance, imbalance);
+    }
+}
