@@ -30,7 +30,20 @@
 //!    driver replaying days of traffic with read-disturb feedback
 //!    until deadline goodput falls below half the fresh value —
 //!    the days-until-SLO-violation figure;
-//! 7. **fleet** (`--fleet <replicas>`) — one heavy Poisson arrival
+//! 7. **overload** — the multi-request steady-state regime the
+//!    interleaved replay loop exists for: a closed-loop ladder of 2,
+//!    8, and 16 clients with long decodes (`--long-tokens`), under
+//!    FCFS and round-robin. Every decode overlaps, so solo spans never
+//!    trigger and every op is a scheduling event; each rung runs twice
+//!    on the same trace — the per-op reference loop (`SpanMode::PerOp`)
+//!    and the default interleaved-replay engine, asserted report-equal
+//!    — and the wall-clock ratio is the replay loop's speedup;
+//! 8. **profile** (`--profile`) — a per-stage wall-clock breakdown of
+//!    the 16-client overload run by bench-side differentials: a
+//!    minimal one-client/one-token run isolates the fixed pricing +
+//!    report-build floor, and subtracting it from the per-op and
+//!    replay totals splits each into floor + event-core time;
+//! 9. **fleet** (`--fleet <replicas>`) — one heavy Poisson arrival
 //!    trace routed across a replica ladder (1, 2, …, `<replicas>`) of
 //!    [`FleetEngine`] devices, recording aggregate simulated tokens
 //!    per wall-second per rung plus a router-policy comparison at the
@@ -48,7 +61,7 @@
 //!
 //! ```text
 //! serve_throughput [--iters N] [--clients N] [--tokens N]
-//!                  [--long-tokens N] [--monte-carlo N]
+//!                  [--long-tokens N] [--monte-carlo N] [--profile]
 //!                  [--faults AGE_DAYS] [--fleet REPLICAS] [--out PATH]
 //! ```
 
@@ -71,6 +84,7 @@ struct Args {
     tokens: usize,
     long_tokens: usize,
     monte_carlo: usize,
+    profile: bool,
     faults: Option<f64>,
     fleet: Option<usize>,
     out: String,
@@ -83,6 +97,7 @@ fn parse_args() -> Args {
         tokens: 32,
         long_tokens: 512,
         monte_carlo: 32,
+        profile: false,
         faults: None,
         fleet: None,
         out: "BENCH_serving.json".to_string(),
@@ -109,6 +124,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--monte-carlo: integer")
             }
+            "--profile" => args.profile = true,
             "--faults" => {
                 args.faults = Some(value("--faults").parse().expect("--faults: age in days"))
             }
@@ -244,6 +260,162 @@ fn reliability_section(
                 .field("traffic_scale", Json::float(wt.traffic_scale, 1))
                 .field("steps_run", wear.points.len())
                 .field("days_until_slo", days_until),
+        )
+}
+
+/// The overloaded-device ladder: 2, 8, and 16 closed-loop clients
+/// with long decodes under FCFS and round-robin. Past two clients no
+/// decode ever runs alone, so solo spans never trigger — every op is
+/// a scheduling event and the wall rate is pure event-loop speed.
+/// Each rung runs the same trace through the per-op reference loop
+/// ([`SpanMode::PerOp`]) and the default interleaved-replay engine;
+/// the reports must match field for field (the replay loop's exactness
+/// contract) and the wall-clock ratio is the replay speedup.
+fn overload_section(
+    iters: usize,
+    cfg: SystemConfig,
+    model: &llm_workload::ModelSpec,
+    long_tokens: usize,
+) -> Json {
+    let shape = RequestShape::new(1000, long_tokens);
+    println!(
+        "overload: closed-loop ladder x {long_tokens} tokens, per-op reference vs interleaved replay"
+    );
+    let engine = ServeEngine::new(cfg, model.clone());
+    let engine_per_op = ServeEngine::new(cfg, model.clone()).with_span_mode(SpanMode::PerOp);
+    let mut rungs = Vec::new();
+    let mut headline = f64::INFINITY;
+    for clients in [2usize, 8, 16] {
+        let trace = ArrivalTrace::closed_loop(clients, 1, shape);
+        for policy in [SchedulePolicy::Fcfs, SchedulePolicy::RoundRobin] {
+            let tag = match policy {
+                SchedulePolicy::Fcfs => "fcfs",
+                _ => "rr",
+            };
+            let (warm_ref, stats_ref) = measure(
+                &engine_per_op,
+                &trace,
+                policy,
+                iters,
+                &format!("overload x{clients} {tag} per-op "),
+            );
+            let (warm_replay, stats_replay) = measure(
+                &engine,
+                &trace,
+                policy,
+                iters,
+                &format!("overload x{clients} {tag} replay "),
+            );
+            assert_eq!(
+                warm_replay, warm_ref,
+                "interleaved replay diverged from the per-op reference"
+            );
+            let speedup = stats_replay.median / stats_ref.median;
+            println!(
+                "overload x{clients} {tag}: replay {:.0} vs per-op {:.0} tok/s-wall — \
+                 {speedup:.2}x median ({:.2}x best)",
+                stats_replay.median,
+                stats_ref.median,
+                stats_replay.best / stats_ref.best,
+            );
+            if clients == 16 {
+                headline = headline.min(speedup);
+            }
+            rungs.push(
+                stats_replay.fields(
+                    Json::obj()
+                        .field("clients", clients)
+                        .field("policy", tag)
+                        .field("tokens_served", warm_replay.tokens_served)
+                        .field(
+                            "sim_tokens_per_sec",
+                            Json::float(warm_replay.tokens_per_sec, 4),
+                        )
+                        .field(
+                            "per_op_baseline",
+                            stats_ref.fields(Json::obj().field("span_mode", "PerOp")),
+                        )
+                        .field("replay_speedup_median", Json::float(speedup, 2))
+                        .field(
+                            "replay_speedup_best",
+                            Json::float(stats_replay.best / stats_ref.best, 2),
+                        ),
+                ),
+            );
+        }
+    }
+    println!("overload headline (min 16-client median speedup): {headline:.2}x");
+    Json::obj()
+        .field("new_tokens", long_tokens)
+        .field("clients_ladder", Json::array([2u64, 8, 16].map(Json::from)))
+        .field("ladder", Json::array(rungs))
+        .field("min_16_client_speedup_median", Json::float(headline, 2))
+}
+
+/// The `--profile` per-stage breakdown: bench-side differentials on
+/// the 16-client overload scenario. A one-client, one-token run pays
+/// the full fixed cost — pricing every distinct GeMV shape through the
+/// flash DES plus building a report — with a negligible event count,
+/// so its wall time is the *floor* shared by every run of this model
+/// and config. Subtracting the floor from the per-op and replay totals
+/// splits each into `floor + event core`, and the event-core ratio is
+/// the replay loop's speedup with fixed costs stripped out. The floor
+/// run prices attention at one position only, so the split is an
+/// estimate — good to the few percent the memoized prefix table leaves
+/// position-dependent.
+fn profile_section(
+    iters: usize,
+    cfg: SystemConfig,
+    model: &llm_workload::ModelSpec,
+    long_tokens: usize,
+) -> Json {
+    let engine = ServeEngine::new(cfg, model.clone());
+    let engine_per_op = ServeEngine::new(cfg, model.clone()).with_span_mode(SpanMode::PerOp);
+    let floor_trace = ArrivalTrace::closed_loop(1, 1, RequestShape::new(1000, 1));
+    let trace = ArrivalTrace::closed_loop(16, 1, RequestShape::new(1000, long_tokens));
+    println!("profile: stage breakdown on 16 clients x {long_tokens} tokens (fcfs)");
+
+    // Median wall seconds of `runs` timed iterations.
+    let wall_median = |engine: &ServeEngine, trace: &ArrivalTrace, label: &str| {
+        let warm = engine.run(trace, SchedulePolicy::Fcfs);
+        let mut walls = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            // Wall-clock measurement is this harness's purpose.
+            #[allow(clippy::disallowed_methods)]
+            let t0 = Instant::now();
+            let rep = engine.run(trace, SchedulePolicy::Fcfs);
+            walls.push(t0.elapsed().as_secs_f64());
+            assert_eq!(rep, warm, "non-deterministic profile run");
+        }
+        walls.sort_by(f64::total_cmp);
+        let median = walls[walls.len() / 2];
+        println!("  {label}: {median:.4} s wall median");
+        (median, warm.tokens_served)
+    };
+
+    let (floor_s, _) = wall_median(&engine, &floor_trace, "pricing + report floor");
+    let (per_op_s, tokens) = wall_median(&engine_per_op, &trace, "per-op total");
+    let (replay_s, _) = wall_median(&engine, &trace, "replay total");
+    let per_op_core = (per_op_s - floor_s).max(0.0);
+    let replay_core = (replay_s - floor_s).max(0.0);
+    println!(
+        "profile: floor {floor_s:.4} s; event core per-op {per_op_core:.4} s vs replay \
+         {replay_core:.4} s ({:.2}x core speedup); {tokens} tokens",
+        per_op_core / replay_core.max(1e-12),
+    );
+    Json::obj()
+        .field("clients", 16u64)
+        .field("new_tokens", long_tokens)
+        .field("policy", "Fcfs")
+        .field("tokens_served", tokens)
+        .field("pricing_report_floor_s", Json::float(floor_s, 4))
+        .field("per_op_total_s", Json::float(per_op_s, 4))
+        .field("replay_total_s", Json::float(replay_s, 4))
+        .field("per_op_event_core_s", Json::float(per_op_core, 4))
+        .field("replay_event_core_s", Json::float(replay_core, 4))
+        .field(
+            "event_core_speedup",
+            Json::float(per_op_core / replay_core.max(1e-12), 2),
         )
 }
 
@@ -570,6 +742,13 @@ fn main() {
         warm_mc.summary(),
     );
 
+    // Overload ladder: always on — it carries the replay loop's
+    // exactness assertion, so the smoke run exercises it too.
+    let overload = overload_section(args.iters, cfg, &model, args.long_tokens);
+    let profile = args
+        .profile
+        .then(|| profile_section(args.iters, cfg, &model, args.long_tokens));
+
     let doc = Json::obj()
         .field("benchmark", "serve_throughput")
         .field(
@@ -702,6 +881,11 @@ fn main() {
                     ),
             ),
         );
+    let doc = doc.field("overload", overload);
+    let doc = match profile {
+        Some(p) => doc.field("profile", p),
+        None => doc,
+    };
     let doc = match args.faults {
         Some(age_days) => doc.field(
             "reliability",

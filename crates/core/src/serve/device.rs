@@ -18,7 +18,9 @@ use crate::config::SystemConfig;
 use crate::reliability::{FaultMode, FaultRun, ReliabilitySummary};
 use crate::system::{OpClass, PrefillCost, System, TrafficBreakdown};
 use llm_workload::kv::kv_bytes_per_token;
-use llm_workload::{ArrivalTrace, ModelSpec, OpCursor, PrefillPlan, RequestShape, TokenPlan};
+use llm_workload::{
+    ArrivalTrace, AttnPrefix, ModelSpec, OpCursor, PrefillPlan, RequestShape, TokenPlan,
+};
 use npu_sim::KvCache;
 use sim_core::{Aggregate, BusyTracker, Samples, SimTime, SplitMix64};
 use std::cmp::Reverse;
@@ -222,6 +224,15 @@ const MAX_DEP_SLOTS: usize = 4;
 struct PlanTable {
     /// Resource class of each plan position.
     classes: Vec<OpClass>,
+    /// `slot(classes[idx])` per plan position — the resource index the
+    /// interleaved fast loop reads per op (a load instead of a match).
+    class_slots: Vec<u8>,
+    /// Per-op dispatch latency in picoseconds for the fast loop, built
+    /// once the invariant slots are priced: invariant positions carry
+    /// their latency directly; seq-dependent positions carry
+    /// `u64::MAX - dep_index` (never a real latency), telling the
+    /// dispatcher to read the member's own attention pricing instead.
+    fast_lat: Vec<u64>,
     /// Cost slot of each plan position.
     slots: Vec<u32>,
     /// Latency per seq-invariant slot (indices `0..n_inv`).
@@ -262,6 +273,23 @@ struct PlanTable {
     /// Whether the invariant slots have been priced yet (done lazily so
     /// an empty trace prices nothing, like the engine it replaced).
     priced: bool,
+    /// Memoized cumulative attention prices by sequence position, grown
+    /// on demand: pricing a position a second time (another member of a
+    /// cohort, another span probe) is two table reads instead of three
+    /// op-cost lookups, and a contiguous range prices as one
+    /// prefix-sum difference. Segmented, so only positions requests
+    /// actually visit are ever priced — the op-cost cache's miss count
+    /// (a report field) sees exactly the per-op loop's derivations.
+    attn: AttnPrefix<AttnPoint>,
+}
+
+/// One sequence position's attention prices, folded cumulatively in
+/// [`PlanTable::attn`]: the per-dependent-slot op latency plus the
+/// position's combined slot-count-scaled traffic.
+#[derive(Debug, Clone, Default)]
+struct AttnPoint {
+    lat: [SimTime; MAX_DEP_SLOTS],
+    traffic: TrafficBreakdown,
 }
 
 impl PlanTable {
@@ -286,6 +314,8 @@ impl PlanTable {
             *count = plan.slot_count(n_inv + d) as u64;
         }
         PlanTable {
+            class_slots: classes.iter().map(|c| slot(*c) as u8).collect(),
+            fast_lat: Vec::new(),
             classes,
             slots: (0..plan.len())
                 .map(|idx| plan.cost_slot(idx) as u32)
@@ -305,8 +335,86 @@ impl PlanTable {
             inv_flash_ops: vec![0; n_inv],
             gemvs_per_token,
             priced: false,
+            attn: AttnPrefix::new(),
         }
     }
+
+    /// Builds [`PlanTable::fast_lat`] from the priced invariant slots.
+    /// Idempotent; the invariant prices never change once set.
+    fn build_fast_lat(&mut self) {
+        if self.fast_lat.len() == self.slots.len() {
+            return;
+        }
+        debug_assert!(self.priced, "fast_lat needs priced invariant slots");
+        self.fast_lat = self
+            .slots
+            .iter()
+            .map(|&s| {
+                let s = s as usize;
+                if s < self.n_inv {
+                    let lat = self.inv_lat[s].as_picos();
+                    debug_assert!(lat < DEP_LAT_MARK, "latency collides with dep marker");
+                    lat
+                } else {
+                    u64::MAX - (s - self.n_inv) as u64
+                }
+            })
+            .collect();
+    }
+}
+
+/// `fast_lat` values at or above this are seq-dependent-slot markers
+/// (`u64::MAX - dep_index`), not latencies.
+const DEP_LAT_MARK: u64 = u64::MAX - MAX_DEP_SLOTS as u64;
+
+/// Branch-layout hint: calling this marks the enclosing block cold, so
+/// the replay loop's rare arms (one token boundary per `n_ops` events)
+/// are laid out away from the hot op path.
+#[cold]
+#[inline(never)]
+fn cold_mark() {}
+
+/// Prices the attention slots at sequence position `seq` through the
+/// table's prefix table and returns the position's per-slot latencies
+/// plus its combined count-scaled traffic. First visit of a position
+/// prices it through [`System::op_cost`] in ascending slot order —
+/// exactly the calls (and therefore the cache misses) the per-op loop
+/// makes — and every later visit is two adjacent prefix reads.
+fn attn_at(
+    system: &mut System,
+    plan: &TokenPlan,
+    table: &mut PlanTable,
+    seq: usize,
+) -> ([SimTime; MAX_DEP_SLOTS], TrafficBreakdown) {
+    let n_inv = table.n_inv;
+    let n_dep = table.n_dep;
+    let dep_counts = table.dep_counts;
+    table.attn.ensure(
+        seq,
+        seq + 1,
+        AttnPoint::default(),
+        &mut |pos| {
+            let mut p = AttnPoint::default();
+            for (d, &count) in dep_counts.iter().enumerate().take(n_dep) {
+                let cost = system.op_cost(&plan.slot_op(n_inv + d, pos));
+                p.lat[d] = cost.latency;
+                p.traffic.absorb_scaled(&cost.traffic, count);
+            }
+            p
+        },
+        &mut |a, b| {
+            for d in 0..MAX_DEP_SLOTS {
+                a.lat[d] += b.lat[d];
+            }
+            a.traffic.absorb(&b.traffic);
+        },
+    );
+    let (lo, hi) = table.attn.range(seq, seq + 1);
+    let mut lat = [SimTime::ZERO; MAX_DEP_SLOTS];
+    for (d, l) in lat.iter_mut().enumerate().take(n_dep) {
+        *l = hi.lat[d] - lo.lat[d];
+    }
+    (lat, hi.traffic.difference(&lo.traffic))
 }
 
 /// Prices the seq-invariant slots once, filling the latency table and
@@ -431,6 +539,26 @@ struct ColdRequest {
 }
 
 impl RequestPool {
+    /// A pool with every parallel array sized for `n` requests up
+    /// front, so the deep-queue regime (hundreds of queued arrivals,
+    /// closed-loop respawns) never reallocates the hot arrays
+    /// mid-loop. Capacity only — contents and push order are
+    /// unchanged, so reports are bit-identical (pinned by the goldens).
+    fn with_capacity(n: usize) -> Self {
+        RequestPool {
+            phase: Vec::with_capacity(n),
+            remaining: Vec::with_capacity(n),
+            cursor: Vec::with_capacity(n),
+            token_started: Vec::with_capacity(n),
+            dep_lat: Vec::with_capacity(n),
+            last_scheduled: Vec::with_capacity(n),
+            fault_rng: Vec::with_capacity(n),
+            fault_extra: Vec::with_capacity(n),
+            fault_root: None,
+            cold: Vec::with_capacity(n),
+        }
+    }
+
     /// Appends a fresh request and returns its id. The single
     /// construction site for request state — shared by trace admission
     /// and the closed-loop respawn path inside the event loops.
@@ -517,6 +645,17 @@ enum Fired {
 }
 
 impl EventCore {
+    /// A core whose arrival heap holds `n` pending arrivals without
+    /// growing — an open trace schedules its whole arrival sequence up
+    /// front, so sizing from the trace length keeps the heap's one
+    /// allocation out of the event loop.
+    fn with_capacity(n: usize) -> Self {
+        EventCore {
+            arrivals: BinaryHeap::with_capacity(n),
+            ..EventCore::default()
+        }
+    }
+
     fn schedule_arrival(&mut self, at: SimTime, id: usize) {
         let stamp = self.stamp;
         self.stamp += 1;
@@ -629,6 +768,12 @@ struct Simulation<'a> {
     kv_rejections: u64,
     /// Most tokens one span may coalesce (0 = per-op stepping).
     span_cap: usize,
+    /// Whether the interleaved replay loop may take over multi-request
+    /// steady stretches ([`run_interleaved`]). On for any
+    /// [`SpanMode::Coalesced`] — independent of `span_cap`, because the
+    /// replay is a faithful per-op re-execution (exact under fault
+    /// injection too), not a speculative coalescing.
+    replay: bool,
     /// Fault-injection state; `None` when [`FaultMode::Off`].
     faults: Option<FaultRun>,
 }
@@ -705,6 +850,23 @@ fn prefill_cost_bucketed(
     let c = system.prefill_cost(plan, m);
     buckets.insert(m, c);
     c
+}
+
+/// Sizing hints a trace implies: `(total requests over the run, peak
+/// simultaneously scheduled arrivals)` — the capacities
+/// [`RequestPool::with_capacity`] and [`EventCore::with_capacity`]
+/// reserve before the loop starts. A closed loop holds at most one
+/// scheduled arrival per client (respawns replace completions), while
+/// an open trace schedules everything up front.
+fn trace_sizes(trace: &ArrivalTrace) -> (usize, usize) {
+    match trace {
+        ArrivalTrace::Open(arrivals) => (arrivals.len(), arrivals.len()),
+        ArrivalTrace::ClosedLoop {
+            clients,
+            requests_per_client,
+            ..
+        } => (clients.saturating_mul(*requests_per_client), *clients),
+    }
 }
 
 /// Seeds the request pool and arrival events from a trace. Returns
@@ -798,12 +960,9 @@ fn begin_token(
     price_invariant(system, plan, table);
     traffic.absorb(&table.inv_traffic);
     let seq = requests.cursor[id].seq_len();
-    for d in 0..table.n_dep {
-        let op_slot = table.n_inv + d;
-        let cost = system.op_cost(&plan.slot_op(op_slot, seq));
-        requests.dep_lat[id][d] = cost.latency;
-        traffic.absorb_scaled(&cost.traffic, plan.slot_count(op_slot) as u64);
-    }
+    let (dep_lat, dep_traffic) = attn_at(system, plan, table, seq);
+    requests.dep_lat[id] = dep_lat;
+    traffic.absorb(&dep_traffic);
     // Fault sampling at token granularity: the token's NAND weight
     // stream is the page-read window, drawn from the request's own
     // stream so reports are independent of interleaving order. The
@@ -896,7 +1055,7 @@ fn deadline_shed(f: &mut FaultRun, requests: &RequestPool, id: usize, now: SimTi
 fn run_solo_span(
     system: &mut System,
     plan: &TokenPlan,
-    table: &PlanTable,
+    table: &mut PlanTable,
     ev: &mut EventCore,
     busy_track: &mut [BusyTracker; 2],
     traffic: &mut TrafficBreakdown,
@@ -925,7 +1084,7 @@ fn run_solo_span(
     // booked only on acceptance — a rejected token is re-priced by its
     // own `begin_token` later, hitting the memo.
     let mut dep = requests.dep_lat[id];
-    let mut unbooked: Option<[TrafficBreakdown; MAX_DEP_SLOTS]> = None;
+    let mut unbooked: Option<TrafficBreakdown> = None;
     loop {
         let mut lat = table.solo_flash_lat + table.solo_npu_lat;
         for (d, &dep_lat) in dep.iter().enumerate().take(table.n_dep) {
@@ -940,9 +1099,7 @@ fn run_solo_span(
             // Book the accepted token exactly as `begin_token` would
             // have at its start.
             traffic.absorb(&table.inv_traffic);
-            for (d, item) in tr.iter().enumerate().take(table.n_dep) {
-                traffic.absorb_scaled(item, table.dep_counts[d]);
-            }
+            traffic.absorb(&tr);
         }
         k += 1;
         t = end;
@@ -955,14 +1112,13 @@ fn run_solo_span(
             // the engine at the boundary, so the span stops here.
             break;
         }
-        // Price the next token's attention slots (speculative).
+        // Price the next token's attention slots (speculative; the
+        // prefix table keeps the entries either way, and a rejected
+        // token's position is re-read — not re-priced — by its own
+        // `begin_token` later).
         let seq = requests.cursor[id].seq_len() + k;
-        let mut tr = [TrafficBreakdown::default(); MAX_DEP_SLOTS];
-        for d in 0..table.n_dep {
-            let cost = system.op_cost(&plan.slot_op(table.n_inv + d, seq));
-            dep[d] = cost.latency;
-            tr[d] = cost.traffic;
-        }
+        let (lat, tr) = attn_at(system, plan, table, seq);
+        dep = lat;
         unbooked = Some(tr);
     }
     if k == 0 {
@@ -999,6 +1155,751 @@ fn run_solo_span(
     k
 }
 
+/// Ready-set interface of the interleaved replay loop
+/// ([`run_interleaved`]): a policy-specialized stand-in for
+/// [`RequestQueue`] whose operations avoid per-op heap churn.
+///
+/// Implementations must reproduce `RequestQueue`'s pop order exactly
+/// under the replay loop's **fixed-membership discipline**: the member
+/// set is frozen at entry (only members and their re-enqueues flow
+/// through), and each policy's key law holds — FCFS keys are static
+/// per member, round-robin keys strictly increase along each enqueue
+/// source.
+trait FastReady {
+    /// Whether a member popped as the minimum stays the minimum for as
+    /// long as the member set and every key are unchanged (true for
+    /// FCFS, whose keys are static; false for round-robin, whose
+    /// rotation re-keys every dispatch). Inside a frozen-membership
+    /// stretch this licenses redispatching the completing member
+    /// without touching the ready structure.
+    const RETAINS_MIN: bool;
+    /// Queues member `id` for resource `rs`. `src` is the resource
+    /// whose completion triggered the enqueue and `key` the policy key
+    /// at enqueue time (what the general loop's `ready_key` computes).
+    fn enqueue(&mut self, rs: usize, src: usize, key: u64, id: u32);
+    /// Removes and returns the queued member minimizing `(key, id)`
+    /// for `rs` — the [`RequestQueue::pop_min`] contract.
+    fn pop_min(&mut self, rs: usize) -> Option<u32>;
+    /// Pops the sole queued member (the caller counted exactly one),
+    /// returning `(rs, id)` with `rs` chosen like the general loop: the
+    /// flash list if non-empty, the NPU list otherwise.
+    fn pop_sole(&mut self) -> (usize, u32);
+    /// Restores the member popped by [`FastReady::pop_sole`] after a
+    /// declined solo-span attempt.
+    fn requeue_sole(&mut self, rs: usize, key: u64, id: u32);
+}
+
+/// FCFS ready-set for the replay loop: arrival keys are static, so the
+/// members are ranked once at entry (ascending `(arrived, id)` — the
+/// heap's exact order) and each resource's ready set is a rank-indexed
+/// bitmask. Pop-min is a trailing-zeros scan; enqueue sets one bit.
+#[derive(Debug, Default)]
+struct FcfsReady {
+    /// Member id per rank.
+    order: Vec<u32>,
+    /// id → rank, dense over the request pool. Member entries are
+    /// reset at writeback; anything else is never read.
+    rank: Vec<u32>,
+    /// Rank-indexed ready bits per resource.
+    mask: [Vec<u64>; 2],
+    /// Entry scratch: `(key, id)` of every member, heap order.
+    members: Vec<(u64, u32)>,
+    /// Entry scratch: `(resource, id)` of the initially queued members.
+    queued: Vec<(u8, u32)>,
+}
+
+impl FcfsReady {
+    /// Drains the heaps, ranks every member (queued and in-flight),
+    /// and seeds the masks. Returns the queued count per resource.
+    fn begin(
+        &mut self,
+        ready: &mut RequestQueue,
+        ev: &EventCore,
+        requests: &RequestPool,
+    ) -> [usize; 2] {
+        debug_assert!(self.order.is_empty() && self.members.is_empty());
+        let mut n = [0usize; 2];
+        for (rs, count) in n.iter_mut().enumerate() {
+            while let Some(Reverse((key, id))) = ready.ready[rs].pop() {
+                self.members.push((key, id as u32));
+                self.queued.push((rs as u8, id as u32));
+                *count += 1;
+            }
+        }
+        for slot_ev in &ev.op_done {
+            if let Some((_, _, id)) = *slot_ev {
+                self.members
+                    .push((requests.cold[id as usize].arrived.as_picos(), id));
+            }
+        }
+        self.members.sort_unstable();
+        if self.rank.len() < requests.phase.len() {
+            self.rank.resize(requests.phase.len(), u32::MAX);
+        }
+        for (r, &(_, id)) in self.members.iter().enumerate() {
+            self.rank[id as usize] = r as u32;
+            self.order.push(id);
+        }
+        let words = self.members.len().div_ceil(64);
+        for m in &mut self.mask {
+            m.clear();
+            m.resize(words, 0);
+        }
+        for i in 0..self.queued.len() {
+            let (rs, id) = self.queued[i];
+            let r = self.rank[id as usize] as usize;
+            self.mask[rs as usize][r / 64] |= 1u64 << (r % 64);
+        }
+        n
+    }
+
+    /// Pushes the still-queued members back into the heaps (their keys
+    /// are static, so re-push order is irrelevant to pop order) and
+    /// resets the member ranks for the next entry.
+    fn finish(&mut self, ready: &mut RequestQueue, requests: &RequestPool) {
+        for rs in 0..2 {
+            for w in 0..self.mask[rs].len() {
+                let mut word = self.mask[rs][w];
+                while word != 0 {
+                    let r = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let id = self.order[r] as usize;
+                    ready.enqueue(rs, requests.cold[id].arrived.as_picos(), id);
+                }
+            }
+            self.mask[rs].clear();
+        }
+        for &id in &self.order {
+            self.rank[id as usize] = u32::MAX;
+        }
+        self.order.clear();
+        self.members.clear();
+        self.queued.clear();
+    }
+}
+
+impl FastReady for FcfsReady {
+    const RETAINS_MIN: bool = true;
+
+    #[inline]
+    fn enqueue(&mut self, rs: usize, _src: usize, _key: u64, id: u32) {
+        let r = self.rank[id as usize] as usize;
+        debug_assert_ne!(r, u32::MAX as usize, "enqueue of a non-member");
+        self.mask[rs][r / 64] |= 1u64 << (r % 64);
+    }
+
+    #[inline]
+    fn pop_min(&mut self, rs: usize) -> Option<u32> {
+        for (w, word) in self.mask[rs].iter_mut().enumerate() {
+            if *word != 0 {
+                let b = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                return Some(self.order[w * 64 + b]);
+            }
+        }
+        None
+    }
+
+    fn pop_sole(&mut self) -> (usize, u32) {
+        let rs = usize::from(self.mask[0].iter().all(|&w| w == 0));
+        let id = self.pop_min(rs).expect("sole member is queued");
+        (rs, id)
+    }
+
+    fn requeue_sole(&mut self, rs: usize, _key: u64, id: u32) {
+        self.enqueue(rs, 0, 0, id);
+    }
+}
+
+/// One ascending FIFO lane of the round-robin replay ready-set: a
+/// power-of-two ring whose front key is cached in a register-friendly
+/// field (`u64::MAX` when empty), so the three-way pop-min compares
+/// three plain loads. Head and tail grow monotonically and are masked
+/// on access; live entries never exceed the member count the ring was
+/// sized for.
+#[derive(Debug, Default)]
+struct RrLane {
+    key: Vec<u64>,
+    id: Vec<u32>,
+    head: usize,
+    tail: usize,
+    mask: usize,
+    /// Key at the head, `u64::MAX` when empty. Real keys are dispatch
+    /// stamps (bounded by the dispatch count), never `u64::MAX`.
+    front: u64,
+}
+
+impl RrLane {
+    fn reset(&mut self, cap: usize) {
+        let cap = cap.next_power_of_two().max(4);
+        if self.key.len() < cap {
+            self.key.resize(cap, 0);
+            self.id.resize(cap, 0);
+        }
+        self.mask = self.key.len() - 1;
+        self.head = 0;
+        self.tail = 0;
+        self.front = u64::MAX;
+    }
+
+    #[inline]
+    fn push(&mut self, key: u64, id: u32) {
+        debug_assert!(self.tail - self.head <= self.mask, "lane overflow");
+        debug_assert!(
+            self.head == self.tail || key >= self.key[(self.tail - 1) & self.mask],
+            "lane keys must ascend"
+        );
+        if self.head == self.tail {
+            self.front = key;
+        }
+        let t = self.tail & self.mask;
+        self.key[t] = key;
+        self.id[t] = id;
+        self.tail += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> u32 {
+        debug_assert!(self.head < self.tail, "pop of an empty lane");
+        let h = self.head & self.mask;
+        let v = self.id[h];
+        self.head += 1;
+        self.front = if self.head == self.tail {
+            u64::MAX
+        } else {
+            self.key[self.head & self.mask]
+        };
+        v
+    }
+}
+
+/// Round-robin ready-set for the replay loop. Keys are last-scheduled
+/// stamps, which strictly increase along each of the three enqueue
+/// sources — the entry drain arrives heap-sorted, and each resource
+/// completes ops in dispatch-stamp order, so its completions enqueue
+/// ascending keys. Three ascending FIFO lanes per resource therefore
+/// replace the heap, and pop-min is a three-way cached-front
+/// comparison. Fresh never-scheduled members share key 0, but only the
+/// (sorted) entry lane can hold them, so cross-lane ties cannot occur.
+#[derive(Debug, Default)]
+struct RrReady {
+    /// `lanes[rs][src]`: src 0 = entry drain, 1 = fed by flash
+    /// completions, 2 = fed by NPU completions.
+    lanes: [[RrLane; 3]; 2],
+}
+
+impl RrReady {
+    /// Drains the heaps into the entry lanes (pop order is ascending
+    /// `(key, id)`) and sizes every lane for the member count. Returns
+    /// the queued count per resource.
+    fn begin(&mut self, ready: &mut RequestQueue) -> [usize; 2] {
+        let members = ready.ready[0].len() + ready.ready[1].len() + 2;
+        let mut n = [0usize; 2];
+        for (rs, count) in n.iter_mut().enumerate() {
+            for lane in &mut self.lanes[rs] {
+                debug_assert_eq!(lane.head, lane.tail);
+                lane.reset(members);
+            }
+            while let Some(Reverse((key, id))) = ready.ready[rs].pop() {
+                self.lanes[rs][0].push(key, id as u32);
+                *count += 1;
+            }
+        }
+        n
+    }
+
+    /// Pushes the still-queued members back into the heaps. Each entry
+    /// keeps the key it was enqueued with — its last-scheduled stamp,
+    /// unchanged while queued — so heap keys match the general loop's.
+    fn finish(&mut self, ready: &mut RequestQueue) {
+        for rs in 0..2 {
+            for lane in &mut self.lanes[rs] {
+                while lane.head < lane.tail {
+                    let h = lane.head & lane.mask;
+                    ready.enqueue(rs, lane.key[h], lane.id[h] as usize);
+                    lane.head += 1;
+                }
+                lane.front = u64::MAX;
+            }
+        }
+    }
+}
+
+impl FastReady for RrReady {
+    const RETAINS_MIN: bool = false;
+
+    #[inline]
+    fn enqueue(&mut self, rs: usize, src: usize, key: u64, id: u32) {
+        self.lanes[rs][src + 1].push(key, id);
+    }
+
+    #[inline]
+    fn pop_min(&mut self, rs: usize) -> Option<u32> {
+        let lanes = &mut self.lanes[rs];
+        // Keys are globally unique dispatch stamps (the shared key 0 of
+        // fresh members lives only in the sorted entry lane), so strict
+        // comparison is total and tie handling is moot.
+        let mut best = 0usize;
+        let mut bk = lanes[0].front;
+        if lanes[1].front < bk {
+            best = 1;
+            bk = lanes[1].front;
+        }
+        if lanes[2].front < bk {
+            best = 2;
+            bk = lanes[2].front;
+        }
+        if bk == u64::MAX {
+            return None;
+        }
+        Some(lanes[best].pop())
+    }
+
+    fn pop_sole(&mut self) -> (usize, u32) {
+        let rs = usize::from(self.lanes[0].iter().all(|l| l.front == u64::MAX));
+        let id = self.pop_min(rs).expect("sole member is queued");
+        (rs, id)
+    }
+
+    fn requeue_sole(&mut self, rs: usize, key: u64, id: u32) {
+        debug_assert!(self.lanes[rs].iter().all(|l| l.front == u64::MAX));
+        self.lanes[rs][0].push(key, id);
+    }
+}
+
+/// The per-policy replay structures, chosen once per run.
+// One long-lived stack local per run; the six-ring round-robin
+// variant's size is irrelevant there and boxing it would put a deref
+// on every ready-set call in the hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum FastLane {
+    Fcfs(FcfsReady),
+    Rr(RrReady),
+}
+
+/// Whether the general loop may hand control to [`run_interleaved`]:
+/// the next event to fire must be an op completion (not an arrival)
+/// belonging to a `Decoding` request, and — when prefill is modeled —
+/// no queued member may be awaiting a prefill (the replay loop has no
+/// whole-device dispatch path). Exact, not heuristic: any state this
+/// rejects is handled by the general loop, which re-checks after every
+/// event.
+fn replay_eligible(
+    ev: &EventCore,
+    ready: &RequestQueue,
+    requests: &RequestPool,
+    prefill_on: bool,
+) -> bool {
+    let mut best: Option<(u64, u64)> = None;
+    for slot_ev in &ev.op_done {
+        if let Some((at, st, id)) = *slot_ev {
+            let id = id as usize;
+            if id == PREFILL_HOLD || requests.phase[id] != Phase::Decoding {
+                return false;
+            }
+            if best.map_or(true, |b| (at, st) < b) {
+                best = Some((at, st));
+            }
+        }
+    }
+    let Some(best) = best else {
+        return false;
+    };
+    if let Some(&Reverse((at, st, _))) = ev.arrivals.peek() {
+        if (at, st) < best {
+            return false;
+        }
+    }
+    if prefill_on {
+        for heap in &ready.ready {
+            for &Reverse((_, id)) in heap.iter() {
+                if requests.phase[id as usize] != Phase::Decoding {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The interleaved replay loop: executes the multi-request steady
+/// state — every live request decoding, arrivals quiescent — as a
+/// faithful specialized replica of the general event loop, firing op
+/// completions and dispatching through a [`FastReady`] instead of the
+/// event core and heaps. Every decision point is replayed in the same
+/// order with the same keys and stamps, so the trajectory (dispatch
+/// order, busy intervals, fault draws, retire times, completion
+/// reports) is bit-identical by construction; what's elided is pure
+/// mechanism — heap rebalancing, arrival re-peeks, sentinel and phase
+/// checks that the entry conditions ([`replay_eligible`]) already
+/// discharged for the whole stretch.
+///
+/// Runs until the next event is an arrival (a scheduling boundary the
+/// general loop owns: admission, KV rejection, prefill entry) or the
+/// event core drains, then writes the in-flight events, stamps, and
+/// clock back. Token boundaries, deadline sheds, completions,
+/// closed-loop respawns and solo-span handoffs are all handled inline
+/// through the same shared helpers the general loop calls.
+#[allow(clippy::too_many_arguments)]
+fn run_interleaved<Q: FastReady>(
+    q: &mut Q,
+    mut rlen: [usize; 2],
+    system: &mut System,
+    plan: &TokenPlan,
+    table: &mut PlanTable,
+    ev: &mut EventCore,
+    busy_track: &mut [BusyTracker; 2],
+    traffic: &mut TrafficBreakdown,
+    token_latencies: &mut Samples,
+    queueing: &mut Aggregate,
+    done: &mut Vec<RequestReport>,
+    stamp: &mut u64,
+    requests: &mut RequestPool,
+    client_remaining: &mut [usize],
+    closed_shape: Option<RequestShape>,
+    span_cap: usize,
+    faults: &mut Option<FaultRun>,
+) {
+    let n_ops = plan.len();
+    table.build_fast_lat();
+    let faults_on = faults.is_some();
+    // Local mirrors of the event core's hot state: the two op slots
+    // (flattened to sentinel arrays — `u64::MAX` end time marks an
+    // empty slot, cheaper to test and update than `Option` tuples),
+    // the schedule stamp, the clock, and the earliest pending arrival
+    // (refreshed after any respawn). `EventCore::pop`'s ordering is
+    // reproduced exactly — stamps are unique, so the slot comparison
+    // and the arrival cutoff are total.
+    let mut s_at = [u64::MAX; 2];
+    let mut s_st = [u64::MAX; 2];
+    let mut s_id = [0u32; 2];
+    for rs in 0..2 {
+        if let Some((at, st, id)) = ev.op_done[rs].take() {
+            s_at[rs] = at;
+            s_st[rs] = st;
+            s_id[rs] = id;
+        }
+    }
+    let mut ev_stamp = ev.stamp;
+    let mut d_stamp = *stamp;
+    let mut now = ev.now;
+    let peek_arrival = |ev: &EventCore| {
+        ev.arrivals
+            .peek()
+            .map_or((u64::MAX, u64::MAX), |&Reverse((at, st, _))| (at, st))
+    };
+    let mut next_arr = peek_arrival(ev);
+
+    // Lazy busy booking: dispatches that chain gaplessly on a resource
+    // (its start equals the previous dispatch's end — always true on a
+    // saturated resource) merge into one open run, flushed as a single
+    // `add_contiguous` when a starvation gap opens, before a solo-span
+    // handoff, and at exit. Busy sum, final `last_end`, and interval
+    // count are identical to per-op `add_interval` booking, and the
+    // two per-resource trackers are independent, so the deferral is
+    // unobservable.
+    let mut run_start = [0u64; 2];
+    let mut run_end = [u64::MAX; 2]; // sentinel: no open run
+    let mut run_k = [0u64; 2];
+    macro_rules! flush_busy {
+        ($rs:expr) => {{
+            let rs = $rs;
+            if run_k[rs] > 0 {
+                busy_track[rs].add_contiguous(
+                    SimTime::from_picos(run_start[rs]),
+                    SimTime::from_picos(run_end[rs]),
+                    run_k[rs],
+                );
+                // Dead at the exit-path expansions, where nothing
+                // dispatches afterwards.
+                #[allow(unused_assignments)]
+                {
+                    run_k[rs] = 0;
+                    run_end[rs] = u64::MAX;
+                }
+            }
+        }};
+    }
+
+    // Dispatches `$nid32` on resource `$rs` at `now`. With a literal
+    // `$rs` the resource-conditional branches fold away.
+    macro_rules! dispatch {
+        ($rs:expr, $nid32:expr) => {{
+            let rs = $rs;
+            let nid32 = $nid32;
+            let nid = nid32 as usize;
+            debug_assert_eq!(requests.phase[nid], Phase::Decoding);
+            d_stamp += 1;
+            requests.last_scheduled[nid] = d_stamp;
+            if requests.cold[nid].started.is_none() {
+                requests.cold[nid].started = Some(now);
+            }
+            let idx = requests.cursor[nid].index();
+            debug_assert_eq!(
+                slot(table.classes[idx]),
+                rs,
+                "ready list / op class mismatch"
+            );
+            let lat = table.fast_lat[idx];
+            let mut latency = if lat >= DEP_LAT_MARK {
+                requests.dep_lat[nid][(u64::MAX - lat) as usize]
+            } else {
+                SimTime::from_picos(lat)
+            };
+            if faults_on && rs == slot(OpClass::Flash) {
+                let extra = std::mem::take(&mut requests.fault_extra[nid]);
+                if extra > 0 {
+                    latency += SimTime::from_picos(extra);
+                }
+            }
+            let end = now + latency;
+            let end_ps = end.as_picos();
+            if run_end[rs] == now.as_picos() {
+                run_end[rs] = end_ps;
+            } else {
+                flush_busy!(rs);
+                run_start[rs] = now.as_picos();
+                run_end[rs] = end_ps;
+            }
+            run_k[rs] += 1;
+            s_at[rs] = end_ps;
+            s_st[rs] = ev_stamp;
+            s_id[rs] = nid32;
+            ev_stamp += 1;
+        }};
+    }
+
+    // The token-boundary arm: retire, shed/continue/complete, then the
+    // general solo-span check and a full dispatch pass. Rare (one op
+    // in `n_ops`), so it stays generic over the completing resource.
+    macro_rules! boundary {
+        ($s:expr, $id32:expr, $id:expr) => {{
+            cold_mark();
+            let s = $s;
+            let id32 = $id32;
+            let id = $id;
+            retire_token(requests, id, now, token_latencies);
+            let shed = faults
+                .as_mut()
+                .is_some_and(|f| deadline_shed(f, requests, id, now));
+            if shed {
+                requests.phase[id] = Phase::Done;
+                let client = requests.cold[id].client;
+                ev.stamp = ev_stamp;
+                respawn_client(requests, ev, client_remaining, closed_shape, client, now);
+                ev_stamp = ev.stamp;
+                next_arr = peek_arrival(ev);
+            } else if requests.remaining[id] > 0 {
+                requests.cursor[id].next_token();
+                begin_token(system, plan, table, traffic, requests, faults, id);
+                let rs0 = table.class_slots[0] as usize;
+                q.enqueue(rs0, s, requests.last_scheduled[id], id32);
+                rlen[rs0] += 1;
+            } else {
+                requests.phase[id] = Phase::Done;
+                let report = requests.completion_report(id, now);
+                if let Some(f) = faults {
+                    f.note_completion(&report);
+                }
+                queueing.push(report.queueing_delay().as_secs_f64());
+                done.push(report);
+                let client = requests.cold[id].client;
+                ev.stamp = ev_stamp;
+                respawn_client(requests, ev, client_remaining, closed_shape, client, now);
+                ev_stamp = ev.stamp;
+                next_arr = peek_arrival(ev);
+            }
+
+            // Solo-span handoff: same trigger as the general loop's
+            // span check (under faults `span_cap` is 0, so speculative
+            // solo pricing stays off and the replay remains causal).
+            if span_cap > 0 && s_at[0] == u64::MAX && s_at[1] == u64::MAX && rlen[0] + rlen[1] == 1
+            {
+                let (rs, sole) = q.pop_sole();
+                rlen[rs] -= 1;
+                let sid = sole as usize;
+                let spanned = if requests.phase[sid] == Phase::Decoding
+                    && requests.cursor[sid].index() == 0
+                {
+                    // The solo span books busy time itself; settle the
+                    // open runs first so bookings stay chronological.
+                    flush_busy!(0);
+                    flush_busy!(1);
+                    ev.stamp = ev_stamp;
+                    let k = run_solo_span(
+                        system,
+                        plan,
+                        table,
+                        ev,
+                        busy_track,
+                        traffic,
+                        token_latencies,
+                        &mut d_stamp,
+                        requests,
+                        sid,
+                        span_cap,
+                        now,
+                    );
+                    ev_stamp = ev.stamp;
+                    k
+                } else {
+                    0
+                };
+                if spanned > 0 {
+                    for rs in 0..2 {
+                        if let Some((at, st, eid)) = ev.op_done[rs].take() {
+                            s_at[rs] = at;
+                            s_st[rs] = st;
+                            s_id[rs] = eid;
+                        }
+                    }
+                    continue;
+                }
+                q.requeue_sole(rs, requests.last_scheduled[sid], sole);
+                rlen[rs] += 1;
+            }
+
+            // Full dispatch pass, flash first like the general loop.
+            #[allow(clippy::needless_range_loop)]
+            for rs in 0..2 {
+                if s_at[rs] == u64::MAX && rlen[rs] > 0 {
+                    let nid32 = q.pop_min(rs).expect("counted member is queued");
+                    rlen[rs] -= 1;
+                    dispatch!(rs, nid32);
+                }
+            }
+        }};
+    }
+
+    // One op completion on resource `$s` (a literal, so each resource
+    // gets its own straight-line path with well-predicted branches).
+    // Dispatch is event-driven: only the freed slot and the enqueued-to
+    // slot can act, and the general loop's flash-before-NPU dispatch
+    // order is preserved in each arm. A member whose next op stays on
+    // the freed resource with nobody else queued redispatches directly,
+    // skipping the ready structure entirely — with identical stamps,
+    // since the pop it elides could only have returned that member.
+    macro_rules! step {
+        ($s:expr) => {{
+            const S: usize = $s;
+            const O: usize = 1 - $s;
+            let id32 = s_id[S];
+            let id = id32 as usize;
+            s_at[S] = u64::MAX;
+            requests.cursor[id].advance();
+            let idx = requests.cursor[id].index();
+            if idx < n_ops {
+                let rs2 = table.class_slots[idx] as usize;
+                if rs2 == S {
+                    if rlen[S] == 0 {
+                        dispatch!(S, id32);
+                    } else {
+                        q.enqueue(S, S, requests.last_scheduled[id], id32);
+                        let nid32 = q.pop_min(S).expect("just enqueued");
+                        dispatch!(S, nid32);
+                    }
+                    // Single-resource stretch: until the other slot's
+                    // completion fires (or forever, while it sits idle
+                    // with an empty queue — the sentinel makes its
+                    // guard always pass), every next event is a
+                    // completion on `S`, and nothing can enqueue to
+                    // `S`'s queue from outside. Chew through them
+                    // without re-selecting the slot, exiting — before
+                    // touching anything — on the other slot's turn
+                    // (ties included, stamps decide there), arrivals,
+                    // token boundaries, or a cross-resource op. The
+                    // membership and keys of `S`'s queue are frozen for
+                    // the whole stretch, so a key-static policy
+                    // (`RETAINS_MIN`) redispatches the completing member
+                    // — popped as min from this very set — directly.
+                    {
+                        let other = (s_at[O], s_st[O]);
+                        loop {
+                            let at2 = s_at[S];
+                            if !((at2, s_st[S]) < other) || next_arr < (at2, s_st[S]) {
+                                break;
+                            }
+                            let cid32 = s_id[S];
+                            let cid = cid32 as usize;
+                            let nidx = requests.cursor[cid].index() + 1;
+                            if nidx >= n_ops || table.class_slots[nidx] as usize != S {
+                                break;
+                            }
+                            requests.cursor[cid].advance();
+                            now = SimTime::from_picos(at2);
+                            s_at[S] = u64::MAX;
+                            if Q::RETAINS_MIN || rlen[S] == 0 {
+                                dispatch!(S, cid32);
+                            } else {
+                                q.enqueue(S, S, requests.last_scheduled[cid], cid32);
+                                let nid32 = q.pop_min(S).expect("just enqueued");
+                                dispatch!(S, nid32);
+                            }
+                        }
+                    }
+                } else if O == 0 {
+                    // NPU completion, next op on flash: the flash slot
+                    // dispatches first (directly if it sat idle, which
+                    // implies its queue is empty), then the freed NPU.
+                    if s_at[0] == u64::MAX {
+                        debug_assert_eq!(rlen[0], 0, "idle slot implies empty queue");
+                        dispatch!(0, id32);
+                    } else {
+                        q.enqueue(0, S, requests.last_scheduled[id], id32);
+                        rlen[0] += 1;
+                    }
+                    if rlen[1] > 0 {
+                        let nid32 = q.pop_min(1).expect("counted member is queued");
+                        rlen[1] -= 1;
+                        dispatch!(1, nid32);
+                    }
+                } else {
+                    // Flash completion, next op on NPU: the freed flash
+                    // slot dispatches first, then the NPU side.
+                    if rlen[0] > 0 {
+                        let nid32 = q.pop_min(0).expect("counted member is queued");
+                        rlen[0] -= 1;
+                        dispatch!(0, nid32);
+                    }
+                    if s_at[1] == u64::MAX {
+                        debug_assert_eq!(rlen[1], 0, "idle slot implies empty queue");
+                        dispatch!(1, id32);
+                    } else {
+                        q.enqueue(1, S, requests.last_scheduled[id], id32);
+                        rlen[1] += 1;
+                    }
+                }
+            } else {
+                boundary!(S, id32, id);
+            }
+        }};
+    }
+
+    loop {
+        let s = usize::from((s_at[1], s_st[1]) < (s_at[0], s_st[0]));
+        let at = s_at[s];
+        if at == u64::MAX || next_arr < (at, s_st[s]) {
+            break;
+        }
+        now = SimTime::from_picos(at);
+        if s == 0 {
+            step!(0);
+        } else {
+            step!(1);
+        }
+    }
+    // Write the mirrors back; the general loop resumes at its `pop`.
+    flush_busy!(0);
+    flush_busy!(1);
+    for rs in 0..2 {
+        ev.op_done[rs] = (s_at[rs] != u64::MAX).then(|| (s_at[rs], s_st[rs], s_id[rs]));
+    }
+    ev.stamp = ev_stamp;
+    ev.now = now;
+    *stamp = d_stamp;
+}
+
 impl<'a> Simulation<'a> {
     fn new(
         engine: &'a DeviceEngine,
@@ -1007,15 +1908,16 @@ impl<'a> Simulation<'a> {
         mut system: System,
     ) -> Self {
         let faults = FaultRun::for_engine(&engine.faults, &engine.cfg, &mut system);
+        let (total_requests, peak_arrivals) = trace_sizes(trace);
         let mut sim = Simulation {
             system,
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
             policy,
             prefill: PrefillState::new(engine),
-            ev: EventCore::default(),
+            ev: EventCore::with_capacity(peak_arrivals),
             ready: RequestQueue::default(),
-            requests: RequestPool::default(),
+            requests: RequestPool::with_capacity(total_requests),
             busy_track: [BusyTracker::new(), BusyTracker::new()],
             stamp: 0,
             client_remaining: Vec::new(),
@@ -1036,6 +1938,7 @@ impl<'a> Simulation<'a> {
             } else {
                 engine.span.cap()
             },
+            replay: matches!(engine.span, SpanMode::Coalesced { .. }),
             faults,
         };
         if let Some(f) = &sim.faults {
@@ -1076,11 +1979,19 @@ impl<'a> Simulation<'a> {
                 kv_max_context,
                 kv_rejections,
                 span_cap,
+                replay,
                 faults,
                 ..
             } = &mut self;
             let plan: &TokenPlan = plan;
             let n_ops = table.classes.len();
+            // The interleaved replay structures, standing by whenever
+            // span coalescing is on for one of the per-op policies.
+            let mut fast: Option<FastLane> = match (*replay, policy) {
+                (true, SchedulePolicy::Fcfs) => Some(FastLane::Fcfs(FcfsReady::default())),
+                (true, SchedulePolicy::RoundRobin) => Some(FastLane::Rr(RrReady::default())),
+                _ => None,
+            };
             let ready_key = |policy: SchedulePolicy, requests: &RequestPool, id: usize| {
                 match policy {
                     // Earliest arrival wins; id breaks ties
@@ -1353,6 +2264,65 @@ impl<'a> Simulation<'a> {
                     }
                     busy_track[s].add_interval(now, now + latency);
                     ev.schedule_op(s, now + latency, id);
+                }
+
+                // Interleaved replay: when every pending event is an op
+                // completion of a decoding request — the steady state
+                // between arrivals — the stretch up to the next arrival
+                // replays in the specialized loop instead of paying the
+                // general machinery per op. Bit-identical by
+                // construction; see [`run_interleaved`].
+                if let Some(lane) = fast.as_mut() {
+                    if replay_eligible(ev, ready, requests, prefill.is_some()) {
+                        match lane {
+                            FastLane::Fcfs(q) => {
+                                let queued = q.begin(ready, ev, requests);
+                                run_interleaved(
+                                    q,
+                                    queued,
+                                    system,
+                                    plan,
+                                    table,
+                                    ev,
+                                    busy_track,
+                                    traffic,
+                                    token_latencies,
+                                    queueing,
+                                    done,
+                                    stamp,
+                                    requests,
+                                    client_remaining,
+                                    *closed_shape,
+                                    *span_cap,
+                                    faults,
+                                );
+                                q.finish(ready, requests);
+                            }
+                            FastLane::Rr(q) => {
+                                let queued = q.begin(ready);
+                                run_interleaved(
+                                    q,
+                                    queued,
+                                    system,
+                                    plan,
+                                    table,
+                                    ev,
+                                    busy_track,
+                                    traffic,
+                                    token_latencies,
+                                    queueing,
+                                    done,
+                                    stamp,
+                                    requests,
+                                    client_remaining,
+                                    *closed_shape,
+                                    *span_cap,
+                                    faults,
+                                );
+                                q.finish(ready);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1670,17 +2640,18 @@ impl<'a> BatchedSimulation<'a> {
         // it, so they cannot disagree.
         let kv = kv_cache(engine);
         let faults = FaultRun::for_engine(&engine.faults, &engine.cfg, &mut system);
+        let (total_requests, peak_arrivals) = trace_sizes(trace);
         let mut sim = BatchedSimulation {
             system,
             plan: &engine.plan,
             table: PlanTable::new(&engine.plan),
             prefill: PrefillState::new(engine),
-            ev: EventCore::default(),
+            ev: EventCore::with_capacity(peak_arrivals),
             batch: BatchState::new(max_batch),
             pending: VecDeque::new(),
             kv_max_context: kv.max_tokens(),
             kv,
-            requests: RequestPool::default(),
+            requests: RequestPool::with_capacity(total_requests),
             busy_track: [BusyTracker::new(), BusyTracker::new()],
             client_remaining: Vec::new(),
             closed_shape: None,
@@ -1962,13 +2933,9 @@ impl<'a> BatchedSimulation<'a> {
         for i in 0..self.batch.active.len() {
             let id = self.batch.active[i];
             let seq = self.requests.cursor[id].seq_len();
-            for d in 0..self.table.n_dep {
-                let op_slot = self.table.n_inv + d;
-                let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
-                self.requests.dep_lat[id][d] = cost.latency;
-                self.traffic
-                    .absorb_scaled(&cost.traffic, self.plan.slot_count(op_slot) as u64);
-            }
+            let (dep_lat, dep_traffic) = attn_at(&mut self.system, self.plan, &mut self.table, seq);
+            self.requests.dep_lat[id] = dep_lat;
+            self.traffic.absorb(&dep_traffic);
         }
         // One fault window per batch step: the shared weight stream is
         // read once for the whole batch, so its page faults are drawn
@@ -2101,7 +3068,23 @@ impl<'a> BatchedSimulation<'a> {
                 .min(),
             None => None,
         };
-        let next_arrival = self.ev.next_arrival_ps();
+        // An arrival landing mid-span only matters if the boundary after
+        // it could admit (or reject) it. With a full batch, `admit`'s
+        // loop never runs until a completion frees a slot — and every
+        // completion is a span end. With a non-empty pending queue, the
+        // newcomer parks *behind* the head (starvation-free FIFO), so it
+        // can only act when the head does — and the head's own bound was
+        // already decided above. In both cases every intervening token
+        // boundary is a no-op for the arrival: the span runs through it,
+        // and the span-end `token_boundary` pops the (time-ordered) due
+        // arrivals into `pending` exactly as per-step mode would have.
+        let consider_arrivals =
+            self.batch.active.len() < self.batch.max_batch && self.pending.is_empty();
+        let next_arrival = if consider_arrivals {
+            self.ev.next_arrival_ps()
+        } else {
+            None
+        };
         let mut lats: Vec<SimTime> = Vec::with_capacity(k_max.min(4096));
         let mut t = now;
         let mut npu_busy = SimTime::ZERO;
@@ -2130,12 +3113,13 @@ impl<'a> BatchedSimulation<'a> {
                 {
                     run += 1;
                 }
-                for d in 0..self.table.n_dep {
-                    let op_slot = self.table.n_inv + d;
-                    let cost = self.system.op_cost(&self.plan.slot_op(op_slot, seq));
-                    dep_step += (cost.latency * self.table.dep_counts[d]) * run as u64;
-                    dep_traffic.absorb_scaled(&cost.traffic, self.table.dep_counts[d] * run as u64);
+                let (lat, tr) = attn_at(&mut self.system, self.plan, &mut self.table, seq);
+                let mut pos_dep = SimTime::ZERO;
+                for (d, &l) in lat.iter().enumerate().take(self.table.n_dep) {
+                    pos_dep += l * self.table.dep_counts[d];
                 }
+                dep_step += pos_dep * run as u64;
+                dep_traffic.absorb_scaled(&tr, run as u64);
                 i += run;
             }
             let mut lat = flash_step + npu_inv_step + dep_step;

@@ -147,6 +147,27 @@ impl TrafficBreakdown {
         self.absorb_scaled(per_request, batch * steps);
     }
 
+    /// Field-wise difference `self − earlier`, for differencing two
+    /// cumulative snapshots of the same fold (attention prefix tables):
+    /// every field is an exact integer counter, so the difference of a
+    /// later prefix sum against an earlier one reproduces the summed
+    /// in-between contributions bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `earlier` exceeds `self` in any field — the
+    /// operands were not snapshots of one monotone accumulation.
+    pub fn difference(&self, earlier: &TrafficBreakdown) -> TrafficBreakdown {
+        TrafficBreakdown {
+            nand_array_bytes: self.nand_array_bytes - earlier.nand_array_bytes,
+            in_flash_bytes: self.in_flash_bytes - earlier.in_flash_bytes,
+            d2d_bytes: self.d2d_bytes - earlier.d2d_bytes,
+            dram_bytes: self.dram_bytes - earlier.dram_bytes,
+            npu_ops: self.npu_ops - earlier.npu_ops,
+            flash_ops: self.flash_ops - earlier.flash_ops,
+        }
+    }
+
     /// Accumulates `n` occurrences of another breakdown at once (an op
     /// repeated `n` times per token contributes `n ×` its traffic).
     pub fn absorb_scaled(&mut self, other: &TrafficBreakdown, n: u64) {

@@ -8,7 +8,7 @@
 //! `(model, quant, seq_len)` — the optimization must never change what
 //! is simulated, only how fast.
 
-use llm_workload::{decode_step, kv, zoo, DecodeOp, OpCursor, Quant, TokenPlan};
+use llm_workload::{decode_step, kv, zoo, AttnPrefix, DecodeOp, OpCursor, Quant, TokenPlan};
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = llm_workload::ModelSpec> {
@@ -193,5 +193,73 @@ proptest! {
             .map(|s| plan.slot_count(s) as u64 * plan.slot_op(s, seq_len).ops())
             .sum();
         prop_assert_eq!(from_slots, step.total_ops());
+    }
+
+    /// [`AttnPrefix`] differencing reproduces per-position `OpCursor`
+    /// attention pricing op-for-op: each adjacent-entry difference
+    /// equals the position's own price as computed by walking the
+    /// actual op sequence, and the whole-range difference equals their
+    /// left-to-right sum. Covers the 1-token-prompt edge (positions 0
+    /// and 1) alongside arbitrary ranges.
+    #[test]
+    fn attn_prefix_differencing_equals_cursor_pricing(
+        model in arb_model(),
+        quant in arb_quant(),
+        lo in prop_oneof![Just(0usize), Just(1usize), 2usize..1500],
+        k in 1usize..32,
+    ) {
+        let plan = TokenPlan::new(&model, quant);
+        let n_inv = plan.invariant_slots();
+        let n_dep = plan.dependent_slots();
+        // Reference: price position `pos` by walking its ops with an
+        // OpCursor and accumulating every cost-formula input (compute
+        // ops, weight bytes, DRAM bytes) of the seq-dependent slots.
+        let walk = |pos: usize| -> Vec<u64> {
+            let mut e = vec![0u64; n_dep * 3];
+            let mut cursor = OpCursor::new(pos);
+            while let Some(op) = cursor.next_op(&plan) {
+                let slot = plan.cost_slot(cursor.index() - 1);
+                if slot >= n_inv {
+                    let d = slot - n_inv;
+                    e[d * 3] += op.ops();
+                    e[d * 3 + 1] += op.weight_bytes(quant);
+                    e[d * 3 + 2] += op.dram_bytes();
+                }
+            }
+            e
+        };
+        // Table entries price through the slot representatives, the way
+        // the serving engine does.
+        let mut price = |pos: usize| -> Vec<u64> {
+            let mut e = vec![0u64; n_dep * 3];
+            for d in 0..n_dep {
+                let rep = plan.slot_op(n_inv + d, pos);
+                let count = plan.slot_count(n_inv + d) as u64;
+                e[d * 3] = rep.ops() * count;
+                e[d * 3 + 1] = rep.weight_bytes(quant) * count;
+                e[d * 3 + 2] = rep.dram_bytes() * count;
+            }
+            e
+        };
+        let mut add = |a: &mut Vec<u64>, b: &Vec<u64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        let mut table: AttnPrefix<Vec<u64>> = AttnPrefix::new();
+        table.ensure(lo, lo + k, vec![0; n_dep * 3], &mut price, &mut add);
+        let diff = |lo: usize, hi: usize| -> Vec<u64> {
+            let (a, b) = table.range(lo, hi);
+            a.iter().zip(b).map(|(x, y)| y - x).collect::<Vec<u64>>()
+        };
+        let mut total = vec![0u64; n_dep * 3];
+        for j in 0..k {
+            let w = walk(lo + j);
+            prop_assert_eq!(&diff(lo + j, lo + j + 1), &w, "position {}", lo + j);
+            for (t, x) in total.iter_mut().zip(&w) {
+                *t += x;
+            }
+        }
+        prop_assert_eq!(diff(lo, lo + k), total);
     }
 }

@@ -60,6 +60,7 @@ impl BusyTracker {
     ///
     /// Panics if `end < start` or the interval overlaps a previously
     /// recorded one (i.e. `start < last_end`).
+    #[inline]
     pub fn add_interval(&mut self, start: SimTime, end: SimTime) {
         assert!(end >= start, "interval ends before it starts");
         assert!(
@@ -75,6 +76,30 @@ impl BusyTracker {
     /// Records a busy interval of `duration` starting at `start`.
     pub fn add_busy(&mut self, start: SimTime, duration: SimTime) {
         self.add_interval(start, start + duration);
+    }
+
+    /// Records `k` back-to-back intervals jointly spanning `[start,
+    /// end)` in one update. State afterwards is identical to `k`
+    /// chained [`BusyTracker::add_interval`] calls covering the span —
+    /// callers batching a gapless run of intervals use this to skip the
+    /// per-interval bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics like `add_interval` on a backwards or overlapping span,
+    /// or if a non-empty span claims zero intervals.
+    #[inline]
+    pub fn add_contiguous(&mut self, start: SimTime, end: SimTime, k: u64) {
+        assert!(end >= start, "interval ends before it starts");
+        assert!(
+            start >= self.last_end,
+            "overlapping busy interval: starts at {start}, previous ended {}",
+            self.last_end
+        );
+        assert!(k > 0 || end == start, "non-empty span needs intervals");
+        self.busy += end - start;
+        self.last_end = end;
+        self.intervals += k;
     }
 
     /// Total accumulated busy time.
@@ -225,6 +250,7 @@ impl Aggregate {
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         self.sum += x;
@@ -289,6 +315,7 @@ impl Samples {
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
         self.sorted = false;

@@ -10,8 +10,17 @@
 //! the boundary edge cases: single-token spans, spans cut short by
 //! arrivals (the `k = 0` per-op fallback), and closed-loop respawns
 //! that make an arrival and a completion simultaneous.
+//!
+//! The same contract covers the **interleaved replay loop** — active
+//! whenever coalescing is on and several decodes overlap (the
+//! overloaded regime, where solo spans never fire): the overload
+//! matrix below pins FCFS and round-robin at 2–16 clients, both
+//! prefill modes, and fault injection on and off to whole-report
+//! equality, plus an arrival landing exactly on a mid-run token
+//! boundary while decodes overlap.
 
 use cambricon_llm_repro::prelude::*;
+use flash_sim::FlashAge;
 use llm_workload::RequestArrival;
 use proptest::prelude::*;
 use sim_core::SimTime;
@@ -185,6 +194,96 @@ fn kv_blocked_pending_requests_stay_bit_exact_over_long_spans() {
             .with_span_mode(mode)
             .run(&trace, policy);
         assert_eq!(reference, coalesced, "{mode:?}");
+    }
+}
+
+#[test]
+fn interleaved_replay_is_bit_exact_across_the_overload_matrix() {
+    // The multi-request steady state the interleaved replay loop
+    // serves: 2–16 overlapping decodes, where solo spans never fire
+    // and every op completion is a scheduling event. Whole-report
+    // equality against the per-op reference across FCFS and
+    // round-robin, both prefill modes, fault injection on and off,
+    // and every span cap (tiny caps stress replay entry/exit, since
+    // the replay loop runs whenever coalescing is on at all). The odd
+    // client count exercises rotation order that never realigns with
+    // the plan's class runs.
+    let model = zoo::opt_6_7b();
+    let cfg = SystemConfig::cambricon_s();
+    for clients in [2usize, 9, 16] {
+        let trace = ArrivalTrace::closed_loop(clients, 1, RequestShape::new(200, 8));
+        for policy in [SchedulePolicy::Fcfs, SchedulePolicy::RoundRobin] {
+            for prefill in [PrefillMode::Off, PrefillMode::Modeled] {
+                for faulty in [false, true] {
+                    let mk = |mode| {
+                        let engine = ServeEngine::new(cfg, model.clone())
+                            .with_prefill(prefill)
+                            .with_span_mode(mode);
+                        if faulty {
+                            engine.with_faults(FaultMode::Injected(FaultConfig::aged(
+                                FlashAge::worn_out(),
+                            )))
+                        } else {
+                            engine
+                        }
+                    };
+                    let reference = mk(SpanMode::PerOp).run(&trace, policy);
+                    for mode in SPAN_MODES {
+                        let replayed = mk(mode).run(&trace, policy);
+                        assert_eq!(
+                            reference, replayed,
+                            "{clients} clients {policy:?} {prefill:?} faults={faulty} {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn admission_boundary_exactly_under_overlapping_decodes_is_bit_exact() {
+    // The interleaved-regime sibling of the boundary pin above: with
+    // several decodes in flight, probe a real token boundary from a
+    // per-op run, then pin an extra arrival to exactly that instant.
+    // The replay loop must hand control back at (not after) the tied
+    // boundary so the admission pass sees the newcomer in the same
+    // order the per-op loop would.
+    let shape = RequestShape::new(250, 6);
+    let probe_trace = ArrivalTrace::burst(3, shape);
+    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::RoundRobin] {
+        let probe = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(SpanMode::PerOp)
+            .run(&probe_trace, policy);
+        // A mid-run boundary: the last client's first token lands while
+        // the other decodes are still in flight.
+        let boundary = probe
+            .requests
+            .iter()
+            .map(|r| r.first_token_at)
+            .max()
+            .expect("probe served requests");
+        assert!(boundary > SimTime::ZERO);
+        let mut arrivals: Vec<RequestArrival> = (0..3)
+            .map(|_| RequestArrival {
+                at: SimTime::ZERO,
+                shape,
+            })
+            .collect();
+        arrivals.push(RequestArrival {
+            at: boundary,
+            shape: RequestShape::new(100, 3),
+        });
+        let trace = ArrivalTrace::Open(arrivals);
+        let reference = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+            .with_span_mode(SpanMode::PerOp)
+            .run(&trace, policy);
+        for mode in SPAN_MODES {
+            let replayed = ServeEngine::new(SystemConfig::cambricon_s(), zoo::opt_6_7b())
+                .with_span_mode(mode)
+                .run(&trace, policy);
+            assert_eq!(reference, replayed, "{policy:?} {mode:?}");
+        }
     }
 }
 
